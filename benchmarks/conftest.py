@@ -1,0 +1,91 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The expensive simulations run once per session and are shared by every
+table/figure bench that reads from them. Each bench writes its rendered
+table/figure to ``benchmarks/results/<name>.txt`` *and* prints it, so
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduction live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.deployment import (
+    CrawlCampaignConfig,
+    analyze_population,
+    run_crawl_timeseries,
+)
+from repro.experiments.gateway_exp import (
+    GatewayExperimentConfig,
+    run_gateway_experiment,
+)
+from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
+from repro.utils.rng import derive_rng
+from repro.workloads.gateway_trace import GatewayTraceConfig
+from repro.workloads.population import PopulationConfig, generate_population
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scales chosen so the full bench suite completes in a few minutes.
+PERF_WORLD_PEERS = 2000
+PERF_ROUNDS = 10
+ANALYSIS_POPULATION_PEERS = 60_000
+CRAWL_WORLD_PEERS = 800
+GATEWAY_TRACE_SCALE = 40  # 7.1M / 40 ≈ 177k requests
+
+
+def save_report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def perf_results():
+    """One run of the six-region experiment (Tables 1 & 4, Figs 9-10)."""
+    population = generate_population(
+        PopulationConfig(n_peers=PERF_WORLD_PEERS), derive_rng(42, "bench-pop")
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=42), vantage_regions=AWS_REGIONS
+    )
+    return run_perf_experiment(scenario, PerfConfig(rounds=PERF_ROUNDS))
+
+
+@pytest.fixture(scope="session")
+def analysis_population():
+    """A large population for the registry-join analyses (Figs 5/7,
+    Tables 2/3)."""
+    return generate_population(
+        PopulationConfig(n_peers=ANALYSIS_POPULATION_PEERS),
+        derive_rng(42, "bench-analysis-pop"),
+    )
+
+
+@pytest.fixture(scope="session")
+def population_analysis(analysis_population):
+    return analyze_population(analysis_population)
+
+
+@pytest.fixture(scope="session")
+def crawl_campaign():
+    """Crawler + prober over a simulated world (Figs 4a, 7a/b, 8)."""
+    population = generate_population(
+        PopulationConfig(n_peers=CRAWL_WORLD_PEERS), derive_rng(42, "bench-crawl-pop")
+    )
+    scenario = build_scenario(population, ScenarioConfig(seed=42, with_churn=True))
+    config = CrawlCampaignConfig(duration_s=12 * 3600.0, crawl_interval_s=1800.0)
+    results = run_crawl_timeseries(scenario, config)
+    return scenario, results
+
+
+@pytest.fixture(scope="session")
+def gateway_results():
+    """One simulated day at the gateway (Figs 4b, 6, 11, Table 5)."""
+    config = GatewayExperimentConfig(
+        trace=GatewayTraceConfig(scale=GATEWAY_TRACE_SCALE)
+    )
+    return run_gateway_experiment(config)

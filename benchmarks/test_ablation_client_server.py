@@ -1,0 +1,99 @@
+"""Ablation: the DHT client/server distinction (the v0.5 change).
+
+Section 6.4: "the distinction between server and client peers ... has
+given a significant boost to the performance of IPFS, as peers avoid
+costly operations of attempting to punch through NATs, failing and
+timing out eventually."
+
+Pre-v0.5, NAT'ed peers joined routing tables like everyone else; every
+walk that touched one burned a dial timeout. We compare two worlds:
+
+- **pre-v0.5** — never-reachable peers are DHT servers and may fill up
+  to half of each bucket;
+- **post-v0.5** — AutoNAT demotes them to clients, so they never enter
+  a routing table at all.
+"""
+
+from conftest import save_report
+
+from repro.dht.bootstrap import populate_routing_tables
+from repro.dht.keyspace import key_for_cid
+from repro.experiments.report import check_shape, render_table
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.multiformats.cid import make_cid
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentile
+from repro.workloads.population import PopulationConfig, generate_population
+
+WALKS = 15
+
+
+def walk_latencies(nat_in_dht: bool, stale_fraction: float, seed: int):
+    population = generate_population(
+        PopulationConfig(n_peers=800), derive_rng(seed, "cs-pop")
+    )
+    scenario = build_scenario(
+        population,
+        ScenarioConfig(seed=seed, nat_peers_in_dht=nat_in_dht, with_churn=False),
+        vantage_regions=["eu_central_1"],
+    )
+    # Rebuild every routing table with the requested staleness cap.
+    all_nodes = scenario.backdrop + [n.dht for n in scenario.vantage.values()]
+    for node in all_nodes:
+        for peer_id in list(node.routing_table.peers()):
+            node.routing_table.remove(peer_id)
+    populate_routing_tables(
+        all_nodes, derive_rng(seed, "cs-tables"), stale_fraction=stale_fraction
+    )
+    node = scenario.vantage["eu_central_1"]
+    latencies: list[float] = []
+    failures = 0
+
+    def walks():
+        nonlocal failures
+        for index in range(WALKS):
+            key = key_for_cid(make_cid(b"cs-target-%d" % index))
+            start = scenario.sim.now
+            _, stats = yield from node.dht.walk_closest(key)
+            latencies.append(scenario.sim.now - start)
+            failures += stats.rpcs_failed
+            node.disconnect_all()
+
+    scenario.sim.run_process(walks())
+    return latencies, failures
+
+
+def test_ablation_client_server(benchmark):
+    def run():
+        return {
+            "pre-v0.5 (NAT'ed peers are servers)": walk_latencies(True, 0.5, 3000),
+            "post-v0.5 (NAT'ed peers are clients)": walk_latencies(False, 0.05, 3000),
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        (name, f"{percentile(lat, 50):.1f} s", f"{percentile(lat, 90):.1f} s",
+         failures)
+        for name, (lat, failures) in results.items()
+    ]
+    report = render_table(
+        "Ablation — walk latency with vs without the client/server split",
+        ["routing-table regime", "median walk", "p90 walk", "failed RPCs"],
+        rows,
+    )
+    pre_lat, pre_fail = results["pre-v0.5 (NAT'ed peers are servers)"]
+    post_lat, post_fail = results["post-v0.5 (NAT'ed peers are clients)"]
+    pre, post = percentile(pre_lat, 50), percentile(post_lat, 50)
+    checks = [
+        check_shape(
+            f"excluding NAT'ed peers speeds walks up substantially "
+            f"({post:.0f}s vs {pre:.0f}s median)",
+            post < 0.75 * pre,
+        ),
+        check_shape(
+            f"and slashes failed RPCs ({post_fail} vs {pre_fail})",
+            post_fail < pre_fail,
+        ),
+    ]
+    save_report("ablation_client_server", report + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

@@ -1,0 +1,42 @@
+"""Figure 4b: gateway request counts over one day (5-minute bins)."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_series
+
+
+def test_fig04b(gateway_results, benchmark):
+    series = benchmark.pedantic(
+        lambda: gateway_results.request_series(300.0), iterations=1, rounds=1
+    )
+    rendered = render_series(
+        "Fig 4b — gateway requests per 5-min bin (gateway clock, PST)",
+        [(start, f"{count:6d} requests") for start, count in series],
+        every=12,  # print hourly
+    )
+    counts = [count for _, count in series]
+    usage = gateway_results.usage_summary()
+    summary = (
+        f"day total: {usage['requests']:.0f} requests from {usage['users']:.0f} "
+        f"users over {usage['unique_cids']:.0f} CIDs, "
+        f"{usage['bytes'] / 1e12:.2f} TB (paper: 7.1 M / 101 k / 274 k / 6.57 TB "
+        f"at scale 1)"
+    )
+    checks = [
+        check_shape(
+            "the day is fully covered in 5-minute bins",
+            len(series) >= 280,
+        ),
+        check_shape(
+            "demand is diurnal: peak bin at least 1.5x the trough bin",
+            max(counts) > 1.5 * min(counts),
+        ),
+        check_shape(
+            "no empty bins (the gateway is busy all day, as in Fig 4b)",
+            min(counts) > 0,
+        ),
+    ]
+    save_report(
+        "fig04b_gateway_requests", rendered + "\n" + summary + "\n" + "\n".join(checks)
+    )
+    assert all("PASS" in line for line in checks)

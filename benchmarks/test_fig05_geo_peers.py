@@ -1,0 +1,39 @@
+"""Figure 5: geographical distribution of peers."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_share_table
+
+PAPER_SHARES = {"US": 0.285, "CN": 0.242, "FR": 0.083, "TW": 0.072, "KR": 0.067}
+
+
+def test_fig05(population_analysis, benchmark):
+    shares = benchmark.pedantic(
+        lambda: population_analysis.country_shares, iterations=1, rounds=1
+    )
+    report = render_share_table(
+        "Fig 5 — geographical distribution of peers",
+        shares, top=10, reference=PAPER_SHARES,
+    )
+    top5 = list(shares)[:5]
+    checks = [
+        check_shape("US and CN dominate (paper: 28.5% and 24.2%)",
+                    top5[0] == "US" and top5[1] == "CN"),
+        check_shape("FR / TW / KR fill the next ranks",
+                    set(top5[2:]) == {"FR", "TW", "KR"}),
+        check_shape(
+            "top-five shares within 3 points of the paper",
+            all(abs(shares[c] - PAPER_SHARES[c]) < 0.03 for c in PAPER_SHARES),
+        ),
+        check_shape(
+            f"~150 countries observed ({len(shares)})",
+            120 <= len(shares) <= 160,
+        ),
+        check_shape(
+            f"multihoming share {population_analysis.multihoming:.1%} "
+            "(paper 8.8%)",
+            0.04 <= population_analysis.multihoming <= 0.14,
+        ),
+    ]
+    save_report("fig05_geo_peers", report + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

@@ -1,0 +1,31 @@
+"""Figure 6: geographical distribution of gateway users."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_share_table
+
+PAPER = {"US": 0.504, "CN": 0.319, "HK": 0.066, "CA": 0.046, "JP": 0.017}
+
+
+def test_fig06(gateway_results, benchmark):
+    shares = benchmark.pedantic(
+        gateway_results.user_country_shares, iterations=1, rounds=1
+    )
+    report = render_share_table(
+        "Fig 6 — gateway request share by user country",
+        shares, top=8, reference=PAPER,
+    )
+    top2 = list(shares)[:2]
+    checks = [
+        check_shape("US then CN lead (paper: 50.4% / 31.9%)", top2 == ["US", "CN"]),
+        check_shape(
+            "US share within 5 points of the paper",
+            abs(shares.get("US", 0) - PAPER["US"]) < 0.05,
+        ),
+        check_shape(
+            "~59 countries send requests",
+            40 <= len(shares) <= 70,
+        ),
+    ]
+    save_report("fig06_geo_users", report + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

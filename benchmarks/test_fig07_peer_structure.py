@@ -1,0 +1,69 @@
+"""Figures 7a-7d: reliable peers, unreachable peers, PeerIDs per IP,
+and IPs across ASes."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_cdf, render_share_table
+
+
+def test_fig07(population_analysis, benchmark):
+    analysis = population_analysis
+    cdf = benchmark.pedantic(lambda: analysis.peers_per_ip, iterations=1, rounds=1)
+    reliable_total = sum(analysis.reliable_by_country.values())
+    never_total = sum(analysis.never_by_country.values())
+    parts = [
+        render_share_table(
+            "Fig 7a — reliable (>90% uptime) peers by country (share of ALL peers)",
+            analysis.reliable_by_country, top=8,
+        ),
+        render_share_table(
+            "Fig 7b — never-reachable peers by country (share of ALL peers)",
+            analysis.never_by_country, top=8,
+        ),
+        render_cdf(
+            "Fig 7c — PeerIDs per IP address (paper: 92.3% single; "
+            "top-10 IPs host ~1/3 of all PeerIDs)",
+            cdf, grid=[1, 2, 10, 100], unit=" peers",
+        ),
+    ]
+    as_note = (
+        f"Fig 7d — cumulative AS shares: top-10 = {analysis.top10_as_share:.1%} "
+        f"(paper 64.9%), top-100 = {analysis.top100_as_share:.1%} (paper 90.6%), "
+        f"{len(analysis.as_rows)} ASes total (paper 2715)"
+    )
+    checks = [
+        check_shape(
+            f"~1.4% of peers reliable (measured {reliable_total:.1%})",
+            0.005 <= reliable_total <= 0.04,
+        ),
+        check_shape(
+            f"~1/3 of peers never reachable (measured {never_total:.1%})",
+            0.25 <= never_total <= 0.40,
+        ),
+        check_shape(
+            "reliable distribution is egalitarian: largest country < 1.5%"
+            " of all peers (paper: 0.3% for the US)",
+            max(analysis.reliable_by_country.values()) < 0.015,
+        ),
+        check_shape(
+            f"most IPs host a single PeerID ({cdf.probability_at(1):.1%})",
+            cdf.probability_at(1) > 0.9,
+        ),
+        check_shape(
+            "a few mega-IPs host thousands of PeerIDs",
+            cdf.xs[-1] > 1000,
+        ),
+        check_shape(
+            "top-10 ASes hold ~65% of IPs",
+            0.55 <= analysis.top10_as_share <= 0.75,
+        ),
+        check_shape(
+            "top-100 ASes hold ~90% of IPs",
+            0.84 <= analysis.top100_as_share <= 0.96,
+        ),
+    ]
+    save_report(
+        "fig07_peer_structure",
+        "\n\n".join(parts) + "\n" + as_note + "\n" + "\n".join(checks),
+    )
+    assert all("PASS" in line for line in checks)

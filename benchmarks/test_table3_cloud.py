@@ -1,0 +1,49 @@
+"""Table 3: percentage of nodes hosted on cloud providers."""
+
+from conftest import save_report
+
+from repro.experiments.report import check_shape, render_table
+
+PAPER = {
+    "Contabo GmbH": 0.0044,
+    "Amazon AWS": 0.0039,
+    "Microsoft Azure/Corporation": 0.0033,
+    "Digital Ocean": 0.0018,
+    "Hetzner Online": 0.0013,
+}
+
+
+def test_table3(population_analysis, benchmark):
+    rows, non_cloud = benchmark.pedantic(
+        lambda: (population_analysis.cloud_rows, population_analysis.non_cloud),
+        iterations=1, rounds=1,
+    )
+    named = [r for r in rows if r.provider != "Other Cloud Providers"]
+    table = render_table(
+        "Table 3 — cloud-provider IP shares",
+        ["provider", "IPs", "share", "paper"],
+        [
+            (r.provider, r.ip_count, f"{r.share:6.2%}",
+             f"{PAPER.get(r.provider, 0):6.2%}" if r.provider in PAPER else "-")
+            for r in rows[:12]
+        ] + [("Non-Cloud", non_cloud.ip_count, f"{non_cloud.share:6.2%}", "97.71%")],
+    )
+    cloud_total = 1.0 - non_cloud.share
+    checks = [
+        check_shape(
+            f"cloud share {cloud_total:.2%} is small (<2.3% in the paper)",
+            cloud_total < 0.035,
+        ),
+        check_shape(
+            "Contabo and AWS are the two largest cloud hosts (as in "
+            "the paper's Table 3)",
+            {named[0].provider, named[1].provider}
+            == {"Contabo GmbH", "Amazon AWS"},
+        ),
+        check_shape(
+            "the overwhelming majority of nodes are self-hosted",
+            non_cloud.share > 0.965,
+        ),
+    ]
+    save_report("table3_cloud", table + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

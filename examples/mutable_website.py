@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scenario: a mutable website over IPNS (Section 3.3).
+
+CIDs are immutable, so a website that changes needs a stable name: an
+IPNS record maps the hash of the publisher's public key to the current
+root CID, signed with the matching private key. This example publishes
+a site, updates it twice, and shows (a) readers always resolving the
+latest version, (b) forged updates being rejected by the DHT servers'
+record validator.
+
+Run:  python examples/mutable_website.py
+"""
+
+from repro.crypto.keys import generate_keypair
+from repro.dht.bootstrap import populate_routing_tables
+from repro.ipns.record import ipns_key_for, make_record
+from repro.ipns.resolver import IpnsPublisher, IpnsResolver, install_ipns_validator
+from repro.merkledag.unixfs import Directory, import_file
+from repro.node.host import IpfsNode
+from repro.simnet.latency import Region
+from repro.simnet.network import SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+
+
+def build_site(node: IpfsNode, headline: str):
+    """A tiny two-file website as a UnixFS directory."""
+    index = import_file(node.blockstore, f"<h1>{headline}</h1>".encode())
+    style = import_file(node.blockstore, b"body { font-family: monospace }")
+    directory = Directory(node.blockstore)
+    root = directory.build({"index.html": index, "style.css": style})
+    node.blockstore.pin(root)
+    return root
+
+
+def main() -> None:
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(31, "net"))
+    rng = derive_rng(31, "world")
+
+    author = IpfsNode(sim, net, derive_rng(31, "author"), region=Region.EU)
+    reader = IpfsNode(sim, net, derive_rng(31, "reader"), region=Region.NA_WEST)
+    backdrop = [
+        IpfsNode(sim, net, derive_rng(31, "bg", str(i)),
+                 region=rng.choice(list(Region)))
+        for i in range(60)
+    ]
+    nodes = [author, reader, *backdrop]
+    populate_routing_tables([node.dht for node in nodes], rng)
+    for node in nodes:
+        install_ipns_validator(node.dht)
+
+    publisher = IpnsPublisher(author.dht, author.keypair)
+    resolver = IpnsResolver(reader.dht)
+    site_name = publisher.name
+    print(f"site name (stable forever): /ipns/{site_name}\n")
+
+    def publish_version(headline: str):
+        root = build_site(author, headline)
+        yield from author.publish(root)  # provider records for the content
+        record, stored = yield from publisher.publish(root)
+        print(f"v{record.sequence}: {headline!r} -> {str(root)[:20]}… "
+              f"(record on {stored} DHT servers)")
+        return root
+
+    def resolve_and_read():
+        root = yield from resolver.resolve(site_name)
+        reader.disconnect_all()
+        data, _ = yield from reader.retrieve_bytes(root)
+        directory = Directory(reader.blockstore)
+        page = directory.resolve_path(root, "index.html")
+        html = reader.reader.cat(page)
+        print(f"   reader sees: {html.decode()}")
+
+    for headline in ("Hello world", "Breaking news!", "Final edition"):
+        sim.run_process(publish_version(headline))
+        sim.run_process(resolve_and_read())
+
+    # An attacker cannot move the name: records not signed by the
+    # matching key are rejected by every storing server.
+    attacker = generate_keypair(derive_rng(31, "attacker"))
+    evil_root = build_site(author, "PWNED")
+    forged = make_record(attacker, evil_root, sequence=99, now=sim.now)
+    victim_key = ipns_key_for(site_name)
+    accepted = sum(
+        1 for node in backdrop
+        if node.dht.value_validator(victim_key, forged.encode(), None)
+    )
+    print(f"\nforged update accepted by {accepted}/{len(backdrop)} DHT servers "
+          "(self-certification holds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Scenario: a video-on-demand library on IPFS.
+
+Section 6.4 argues IPFS suits "video on demand, file sharing and other
+social networking services": publication is slow (tens of seconds) but
+happens once per movie, while every retrieval costs only seconds. This
+example builds a catalog of videos as a UnixFS directory, publishes it,
+and has viewers around the world stream titles — including a viewer
+behind a NAT (a DHT client), and a second viewer who fetches a cached
+title from the *first* viewer after it volunteers as a provider.
+
+Run:  python examples/video_publishing.py
+"""
+
+from repro.dht.bootstrap import populate_routing_tables
+from repro.merkledag.unixfs import Directory
+from repro.node.host import IpfsNode
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+from repro.workloads.objects import generate_corpus
+
+
+def main() -> None:
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(21, "net"))
+    rng = derive_rng(21, "world")
+
+    # A studio node in Europe plus a worldwide audience.
+    studio = IpfsNode(sim, net, derive_rng(21, "studio"), region=Region.EU)
+    viewers = {
+        "tokyo": IpfsNode(sim, net, derive_rng(21, "v1"),
+                          region=Region.ASIA_EAST, peer_class=PeerClass.HOME),
+        "sao_paulo": IpfsNode(sim, net, derive_rng(21, "v2"),
+                              region=Region.SA, peer_class=PeerClass.HOME),
+        # NAT'ed home viewer: joins as a DHT *client* (Section 2.3).
+        "cape_town": IpfsNode(sim, net, derive_rng(21, "v3"),
+                              region=Region.AFRICA, peer_class=PeerClass.HOME,
+                              nat_private=True),
+    }
+    backdrop = [
+        IpfsNode(sim, net, derive_rng(21, "bg", str(i)),
+                 region=rng.choice(list(Region)))
+        for i in range(80)
+    ]
+    every_node = [studio, *viewers.values(), *backdrop]
+    populate_routing_tables([node.dht for node in every_node], rng)
+
+    # 1. The studio imports three "videos" (sized like short clips) and
+    #    a catalog directory committing to all of them.
+    videos = generate_corpus(3, derive_rng(21, "content"), size=2_000_000)
+    titles = ["one.mp4", "two.mp4", "three.mp4"]
+    cids = {}
+
+    def publish_catalog():
+        yield from studio.publish_peer_record()
+        for title, video in zip(titles, videos):
+            root, receipt = yield from studio.add_and_publish(video)
+            cids[title] = root
+            print(f"published {title:10s} {str(root)[:20]}…  "
+                  f"in {receipt.total_duration:6.1f} s")
+        directory = Directory(studio.blockstore)
+        catalog = directory.build(cids)
+        studio.blockstore.pin(catalog)
+        receipt = yield from studio.publish(catalog)
+        print(f"published catalog    {str(catalog)[:20]}…  "
+              f"in {receipt.total_duration:6.1f} s")
+        return catalog
+
+    catalog = sim.run_process(publish_catalog())
+
+    # 2. Viewers resolve the catalog, pick a title, and stream it.
+    def watch(name: str, viewer: IpfsNode, title: str):
+        viewer.disconnect_all()
+        # Shallow fetch: just the catalog directory node, not the
+        # whole library (path resolution, as a gateway would do).
+        yield from viewer.retrieve(catalog, recursive=False)
+        directory = Directory(viewer.blockstore)
+        wanted = directory.resolve_path(catalog, title)
+        data, receipt = yield from viewer.retrieve_bytes(wanted)
+        print(f"{name:10s} watched {title}: {len(data):,} bytes in "
+              f"{receipt.total_duration:5.1f} s "
+              f"(discovery {receipt.discovery_duration:4.1f} s, "
+              f"fetch {receipt.fetch_duration:4.1f} s)")
+        return receipt
+
+    for name, viewer in viewers.items():
+        sim.run_process(watch(name, viewer, "two.mp4"))
+
+    # 3. The Tokyo viewer becomes a provider for the title it cached
+    #    (Section 3.1: any retriever can serve content onward) — the
+    #    next viewer in Seoul may fetch from Tokyo instead of Europe.
+    def reprovide_and_watch():
+        tokyo = viewers["tokyo"]
+        yield from tokyo.publish_peer_record()
+        yield from tokyo.become_provider(cids["two.mp4"])
+        # A latecomer joins organically from the bootstrap peers
+        # (Section 2.2), instead of the fast-forward table fill.
+        from repro.dht.bootstrap import join_network
+
+        seoul = IpfsNode(sim, net, derive_rng(21, "v4"), region=Region.ASIA_EAST,
+                         peer_class=PeerClass.HOME)
+        seeds = [node.peer_id for node in backdrop[:6]]
+        yield from join_network(seoul.dht, seeds)
+        records, _ = yield from seoul.dht.find_providers(
+            cids["two.mp4"], max_providers=2
+        )
+        providers = {record.provider for record in records}
+        print(f"\nproviders for two.mp4 now: {len(providers)} "
+              f"(studio + Tokyo viewer: "
+              f"{tokyo.peer_id in providers})")
+
+    sim.run_process(reprovide_and_watch())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a Python reproduction of "Design and Evaluation of IPFS:
+A Storage Layer for the Decentralized Web" (SIGCOMM 2022).
+
+Top-level re-exports cover the public API a downstream user needs to
+build and drive a simulated IPFS deployment; see the subpackages for
+the full surface and README.md for a guided tour.
+"""
+
+from repro.dht.bootstrap import join_network, populate_routing_tables
+from repro.multiformats.cid import Cid, make_cid
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+from repro.node.config import NodeConfig
+from repro.node.host import IpfsNode, PublishReceipt, RetrievalReceipt
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng, rng_from_seed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cid",
+    "IpfsNode",
+    "Multiaddr",
+    "NodeConfig",
+    "PeerClass",
+    "PeerId",
+    "PublishReceipt",
+    "Region",
+    "RetrievalReceipt",
+    "SimHost",
+    "SimNetwork",
+    "Simulator",
+    "derive_rng",
+    "join_network",
+    "make_cid",
+    "populate_routing_tables",
+    "rng_from_seed",
+]

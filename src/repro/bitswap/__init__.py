@@ -1,0 +1,39 @@
+"""Bitswap: the chunk exchange protocol (Section 3.2, "Content
+Exchange").
+
+Bitswap plays two roles in IPFS:
+
+1. **Content exchange** — once a provider is known, blocks are fetched
+   with a WANT-BLOCK / BLOCK exchange.
+2. **Opportunistic discovery** — before falling back to the DHT, a
+   requester asks all peers it is *already connected to* for the CID
+   (WANT-HAVE / IHAVE). Only if nothing answers within 1 s does the DHT
+   walk begin; that timer is the 1 s floor visible throughout the
+   paper's retrieval measurements (Figure 9d and footnote 4).
+"""
+
+from repro.bitswap.engine import BitswapEngine, FetchResult
+from repro.bitswap.ledger import Ledger, LedgerBook
+from repro.bitswap.messages import (
+    BITSWAP_TIMEOUT_S,
+    BlockResponse,
+    HaveResponse,
+    WantBlockRequest,
+    WantHaveRequest,
+)
+from repro.bitswap.session import BitswapSession
+from repro.bitswap.wantlist import WantList
+
+__all__ = [
+    "BITSWAP_TIMEOUT_S",
+    "BitswapEngine",
+    "BitswapSession",
+    "BlockResponse",
+    "FetchResult",
+    "HaveResponse",
+    "Ledger",
+    "LedgerBook",
+    "WantBlockRequest",
+    "WantHaveRequest",
+    "WantList",
+]

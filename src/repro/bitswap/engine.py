@@ -1,0 +1,153 @@
+"""The Bitswap engine: serves blocks and fetches them from peers.
+
+Server side: answers WANT-HAVE with IHAVE/DONT-HAVE from the local
+blockstore, and WANT-BLOCK with the block bytes (paying the bandwidth
+cost in the simulated network).
+
+Client side:
+
+- :meth:`BitswapEngine.discover_connected` — the opportunistic phase:
+  broadcast WANT-HAVE to every connected peer; resolve with the first
+  peer that answers IHAVE, or ``None`` after the 1 s window
+  (Section 3.2).
+- :meth:`BitswapEngine.fetch_block` — WANT-BLOCK from a specific peer,
+  verify against the CID, store locally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.bitswap.ledger import LedgerBook
+from repro.bitswap.messages import (
+    BITSWAP_TIMEOUT_S,
+    WANT_BLOCK,
+    WANT_HAVE,
+    BlockResponse,
+    HaveResponse,
+    WantBlockRequest,
+    WantHaveRequest,
+)
+from repro.bitswap.wantlist import WantList, WantType
+from repro.blockstore.block import Block
+from repro.blockstore.memory import Blockstore
+from repro.errors import RetrievalError
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import Future, Simulator, TimeoutError_, with_timeout
+
+
+@dataclass
+class FetchResult:
+    """Outcome of fetching one block."""
+
+    block: Block
+    from_peer: PeerId
+    duration: float
+
+
+class BitswapEngine:
+    """One node's Bitswap state: wantlist, ledgers, and handlers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        host: SimHost,
+        blockstore: Blockstore,
+        serve: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.blockstore = blockstore
+        self.wantlist = WantList()
+        self.ledgers = LedgerBook()
+        self.blocks_served = 0
+        if serve:
+            host.register_handler(WANT_HAVE, self._on_want_have)
+            host.register_handler(WANT_BLOCK, self._on_want_block)
+
+    # -- server side -----------------------------------------------------
+
+    def _on_want_have(self, sender: PeerId, request: WantHaveRequest):
+        have = tuple(cid for cid in request.cids if self.blockstore.has(cid))
+        dont = tuple(cid for cid in request.cids if not self.blockstore.has(cid))
+        response = HaveResponse(have, dont)
+        return response, response.wire_size()
+
+    def _on_want_block(self, sender: PeerId, request: WantBlockRequest):
+        if self.blockstore.has(request.cid):
+            block = self.blockstore.get(request.cid)
+            self.ledgers.record_sent(sender, block.size)
+            self.blocks_served += 1
+            response = BlockResponse(block)
+        else:
+            response = BlockResponse(None)
+        return response, response.wire_size()
+
+    # -- client side -----------------------------------------------------
+
+    def discover_connected(
+        self, cid: Cid, timeout: float = BITSWAP_TIMEOUT_S
+    ) -> Generator:
+        """Opportunistic discovery (step 4 of Figure 3).
+
+        Broadcasts WANT-HAVE for ``cid`` to all currently-connected
+        peers and returns the first PeerId answering IHAVE, or ``None``
+        when the window closes (or there is nobody to ask).
+        """
+        peers = self.host.connected_peers()
+        if not peers:
+            yield timeout  # the window still elapses before DHT fallback
+            return None
+        self.wantlist.add(cid, want_type=WantType.HAVE)
+        result: Future = Future()
+        request = WantHaveRequest((cid,))
+
+        def on_reply(peer_id: PeerId):
+            def callback(future: Future) -> None:
+                if future.failed or result.done:
+                    return
+                response = future.result()
+                if cid in response.have:
+                    result.resolve(peer_id)
+
+            return callback
+
+        for peer_id in peers:
+            future = self.network.rpc(
+                self.host, peer_id, WANT_HAVE, request,
+                request_size=request.wire_size(), auto_dial=False,
+            )
+            future.add_callback(on_reply(peer_id))
+        try:
+            winner = yield with_timeout(self.sim, result, timeout)
+        except TimeoutError_:
+            winner = None
+        self.wantlist.remove(cid)
+        return winner
+
+    def fetch_block(self, cid: Cid, peer_id: PeerId) -> Generator:
+        """WANT-BLOCK ``cid`` from ``peer_id``; verifies and stores it.
+
+        Raises :class:`RetrievalError` when the peer answers without
+        the block or the bytes fail CID verification.
+        """
+        self.wantlist.add(cid, want_type=WantType.BLOCK)
+        start = self.sim.now
+        request = WantBlockRequest(cid)
+        response = yield self.network.rpc(
+            self.host, peer_id, WANT_BLOCK, request, request_size=request.wire_size()
+        )
+        self.wantlist.remove(cid)
+        block = response.block
+        if block is None:
+            raise RetrievalError(f"{peer_id} no longer has {cid}")
+        if block.cid != cid or not block.verify():
+            raise RetrievalError(f"{peer_id} served bytes not matching {cid}")
+        self.ledgers.record_received(peer_id, block.size)
+        self.blockstore.put(block)
+        return FetchResult(block, peer_id, self.sim.now - start)

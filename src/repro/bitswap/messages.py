@@ -1,0 +1,64 @@
+"""Bitswap wire messages.
+
+The paper names three message kinds (Section 3.2): IWANT-HAVE (ask if
+a peer holds a block), IHAVE (affirmative answer), and IWANT-BLOCK
+(request the actual bytes). A block response terminates the exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockstore.block import Block
+from repro.multiformats.cid import Cid
+
+WANT_HAVE = "bitswap/WANT_HAVE"
+WANT_BLOCK = "bitswap/WANT_BLOCK"
+
+#: Section 3.2: "content discovery falls back to the DHT with a
+#: timeout of 1 second" — the opportunistic Bitswap window.
+BITSWAP_TIMEOUT_S = 1.0
+
+#: Approximate wire overhead of a want entry / presence answer.
+WANT_ENTRY_SIZE = 48
+
+
+@dataclass(frozen=True)
+class WantHaveRequest:
+    """Do you have any of these CIDs? (sent to connected peers)."""
+
+    cids: tuple[Cid, ...]
+
+    def wire_size(self) -> int:
+        return WANT_ENTRY_SIZE * len(self.cids)
+
+
+@dataclass(frozen=True)
+class HaveResponse:
+    """IHAVE / DONT_HAVE per requested CID."""
+
+    have: tuple[Cid, ...]
+    dont_have: tuple[Cid, ...]
+
+    def wire_size(self) -> int:
+        return WANT_ENTRY_SIZE * (len(self.have) + len(self.dont_have))
+
+
+@dataclass(frozen=True)
+class WantBlockRequest:
+    """Send me this block."""
+
+    cid: Cid
+
+    def wire_size(self) -> int:
+        return WANT_ENTRY_SIZE
+
+
+@dataclass(frozen=True)
+class BlockResponse:
+    """The block bytes, or None if the peer no longer has it."""
+
+    block: Block | None
+
+    def wire_size(self) -> int:
+        return WANT_ENTRY_SIZE + (self.block.size if self.block is not None else 0)

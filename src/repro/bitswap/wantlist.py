@@ -1,0 +1,62 @@
+"""The wantlist: the set of blocks a peer currently wants.
+
+Section 3.2: "Bitswap issues requests for the content items in
+*wantlists*". Entries carry a priority (higher served first by remote
+engines) and the want type (have-query vs. block request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.multiformats.cid import Cid
+
+
+class WantType(str, Enum):
+    HAVE = "have"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class WantEntry:
+    cid: Cid
+    priority: int
+    want_type: WantType
+
+
+class WantList:
+    """An ordered, mutable set of wants."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Cid, WantEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cid: Cid) -> bool:
+        return cid in self._entries
+
+    def add(self, cid: Cid, priority: int = 1, want_type: WantType = WantType.BLOCK) -> None:
+        """Add or upgrade a want (BLOCK supersedes HAVE; higher
+        priority supersedes lower)."""
+        existing = self._entries.get(cid)
+        if existing is not None:
+            upgrade_type = (
+                existing.want_type == WantType.HAVE and want_type == WantType.BLOCK
+            )
+            if not upgrade_type and existing.priority >= priority:
+                return
+            want_type = WantType.BLOCK if upgrade_type else want_type
+            priority = max(priority, existing.priority)
+        self._entries[cid] = WantEntry(cid, priority, want_type)
+
+    def remove(self, cid: Cid) -> None:
+        self._entries.pop(cid, None)
+
+    def entries(self) -> list[WantEntry]:
+        """Entries sorted by descending priority (stable)."""
+        return sorted(self._entries.values(), key=lambda e: -e.priority)
+
+    def cids(self) -> list[Cid]:
+        return [entry.cid for entry in self.entries()]

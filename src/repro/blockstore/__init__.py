@@ -1,0 +1,26 @@
+"""CID-addressed block storage.
+
+- :mod:`repro.blockstore.memory` — the base in-memory store.
+- :mod:`repro.blockstore.filestore` — a persistent flatfs-style
+  on-disk store (blocks survive node restarts).
+- :mod:`repro.blockstore.lru` — a capacity-bounded LRU store (the model
+  for gateway web caches, Section 3.4).
+- :mod:`repro.blockstore.pinning` — pins + mark/sweep garbage
+  collection, the mechanism behind "temporary or permanent providers"
+  (Section 3.1) and gateway pinned node stores.
+"""
+
+from repro.blockstore.block import Block
+from repro.blockstore.filestore import FileBlockstore
+from repro.blockstore.lru import LruBlockstore
+from repro.blockstore.memory import Blockstore, MemoryBlockstore
+from repro.blockstore.pinning import PinningBlockstore
+
+__all__ = [
+    "Block",
+    "Blockstore",
+    "FileBlockstore",
+    "LruBlockstore",
+    "MemoryBlockstore",
+    "PinningBlockstore",
+]

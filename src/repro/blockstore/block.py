@@ -1,0 +1,38 @@
+"""The Block primitive: a CID-addressed unit of storage.
+
+Raw leaf chunks and encoded DAG nodes both travel as blocks — this is
+the unit Bitswap exchanges and blockstores hold. Lives in the
+blockstore package (not merkledag) so storage has no dependency on DAG
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multiformats.cid import Cid, make_cid
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable (CID, bytes) pair."""
+
+    cid: Cid
+    data: bytes
+
+    @classmethod
+    def from_data(cls, data: bytes, codec: int | None = None) -> "Block":
+        """Build a block, deriving the CID from the bytes."""
+        if codec is None:
+            cid = make_cid(data)
+        else:
+            cid = make_cid(data, codec=codec)
+        return cls(cid, data)
+
+    def verify(self) -> bool:
+        """Self-certification: the data must hash to the CID."""
+        return self.cid.verify(self.data)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)

@@ -1,0 +1,83 @@
+"""A persistent, on-disk blockstore.
+
+go-ipfs's flatfs datastore stores each block as one file under a
+directory sharded by the tail of the CID's base32 form (so no single
+directory grows unbounded). This implementation mirrors that layout,
+which makes a node's store survive restarts — the property that lets
+provider records meaningfully outlive sessions (Section 3.1's republish
+logic assumes the bytes are still there when the peer returns).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterator
+
+from repro.blockstore.block import Block
+from repro.blockstore.memory import Blockstore
+from repro.errors import BlockNotFoundError, DagError
+from repro.multiformats.cid import Cid
+
+#: flatfs-style shard width: last N characters of the encoded CID.
+SHARD_WIDTH = 2
+
+
+class FileBlockstore(Blockstore):
+    """Blocks as files under ``root/<shard>/<cid>.data``."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self._root = pathlib.Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, cid: Cid) -> pathlib.Path:
+        encoded = cid.encode()
+        shard = encoded[-SHARD_WIDTH:]
+        return self._root / shard / f"{encoded}.data"
+
+    def put(self, block: Block) -> None:
+        if not block.verify():
+            raise DagError(f"refusing to store unverifiable block: {block.cid}")
+        path = self._path_for(block.cid)
+        if path.exists():
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a crash never leaves a torn block that
+        # would fail verification on read.
+        temporary = path.with_suffix(".tmp")
+        temporary.write_bytes(block.data)
+        temporary.rename(path)
+
+    def get(self, cid: Cid) -> Block:
+        path = self._path_for(cid)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise BlockNotFoundError(cid) from None
+        block = Block(cid, data)
+        if not block.verify():
+            # On-disk corruption: surface it rather than serving it.
+            raise DagError(f"stored block fails self-certification: {cid}")
+        return block
+
+    def has(self, cid: Cid) -> bool:
+        return self._path_for(cid).exists()
+
+    def delete(self, cid: Cid) -> None:
+        path = self._path_for(cid)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_paths())
+
+    def _iter_paths(self) -> Iterator[pathlib.Path]:
+        yield from self._root.glob(f"*/*.data")
+
+    def cids(self) -> Iterator[Cid]:
+        for path in self._iter_paths():
+            yield Cid.decode(path.stem)
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._iter_paths())

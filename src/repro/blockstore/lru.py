@@ -1,0 +1,77 @@
+"""A capacity-bounded blockstore with Least-Recently-Used eviction.
+
+Section 3.4: each gateway runs "the default nginx web cache, with a
+Least Recently Used replacement strategy". This store models that cache
+(and doubles as a bounded node cache for retrieved content).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.blockstore.memory import Blockstore
+from repro.errors import BlockNotFoundError, DagError
+from repro.blockstore.block import Block
+from repro.multiformats.cid import Cid
+
+
+class LruBlockstore(Blockstore):
+    """Evicts least-recently-used blocks once ``capacity_bytes`` is hit.
+
+    ``get`` and ``put`` both refresh recency. A single block larger
+    than the whole capacity is refused outright (it could never be
+    cached usefully).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self._capacity = capacity_bytes
+        self._blocks: OrderedDict[Cid, Block] = OrderedDict()
+        self._total_bytes = 0
+        self.evictions = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def put(self, block: Block) -> None:
+        if not block.verify():
+            raise DagError(f"refusing to store unverifiable block: {block.cid}")
+        if block.size > self._capacity:
+            return  # would evict everything and still not fit
+        if block.cid in self._blocks:
+            self._blocks.move_to_end(block.cid)
+            return
+        self._blocks[block.cid] = block
+        self._total_bytes += block.size
+        while self._total_bytes > self._capacity:
+            _, evicted = self._blocks.popitem(last=False)
+            self._total_bytes -= evicted.size
+            self.evictions += 1
+
+    def get(self, cid: Cid) -> Block:
+        try:
+            block = self._blocks[cid]
+        except KeyError:
+            raise BlockNotFoundError(cid) from None
+        self._blocks.move_to_end(cid)
+        return block
+
+    def has(self, cid: Cid) -> bool:
+        return cid in self._blocks
+
+    def delete(self, cid: Cid) -> None:
+        block = self._blocks.pop(cid, None)
+        if block is not None:
+            self._total_bytes -= block.size
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def cids(self) -> Iterator[Cid]:
+        return iter(list(self._blocks))
+
+    def size_bytes(self) -> int:
+        return self._total_bytes

@@ -1,0 +1,84 @@
+"""The blockstore interface and its in-memory implementation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.errors import BlockNotFoundError, DagError
+from repro.blockstore.block import Block
+from repro.multiformats.cid import Cid
+
+
+class Blockstore(ABC):
+    """Abstract CID-addressed block storage.
+
+    Implementations must reject blocks whose bytes do not hash to their
+    CID — a store must never serve unverifiable data.
+    """
+
+    @abstractmethod
+    def put(self, block: Block) -> None:
+        """Store ``block``; idempotent for identical CIDs."""
+
+    @abstractmethod
+    def get(self, cid: Cid) -> Block:
+        """Fetch a block or raise :class:`BlockNotFoundError`."""
+
+    @abstractmethod
+    def has(self, cid: Cid) -> bool:
+        """Whether the store currently holds ``cid``."""
+
+    @abstractmethod
+    def delete(self, cid: Cid) -> None:
+        """Remove ``cid`` if present (no error when absent)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored blocks."""
+
+    @abstractmethod
+    def cids(self) -> Iterator[Cid]:
+        """Iterate over stored CIDs (no particular order)."""
+
+    def size_bytes(self) -> int:
+        """Total stored payload bytes."""
+        return sum(self.get(cid).size for cid in list(self.cids()))
+
+
+class MemoryBlockstore(Blockstore):
+    """A dict-backed blockstore (the node-local store of Figure 3)."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[Cid, Block] = {}
+        self._total_bytes = 0
+
+    def put(self, block: Block) -> None:
+        if not block.verify():
+            raise DagError(f"refusing to store unverifiable block: {block.cid}")
+        if block.cid not in self._blocks:
+            self._total_bytes += block.size
+        self._blocks[block.cid] = block
+
+    def get(self, cid: Cid) -> Block:
+        try:
+            return self._blocks[cid]
+        except KeyError:
+            raise BlockNotFoundError(cid) from None
+
+    def has(self, cid: Cid) -> bool:
+        return cid in self._blocks
+
+    def delete(self, cid: Cid) -> None:
+        block = self._blocks.pop(cid, None)
+        if block is not None:
+            self._total_bytes -= block.size
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def cids(self) -> Iterator[Cid]:
+        return iter(list(self._blocks))
+
+    def size_bytes(self) -> int:
+        return self._total_bytes

@@ -1,0 +1,104 @@
+"""Pinning and garbage collection.
+
+Peers that retrieve content become temporary providers; pinning makes
+them permanent ones (Section 3.1). Gateways similarly hold "content
+manually uploaded by the Web3 and NFT Storage Initiatives" pinned in
+their node store (Section 3.4). GC removes everything not reachable
+from a pin (recursive pins protect whole DAGs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.blockstore.memory import Blockstore, MemoryBlockstore
+from repro.blockstore.block import Block
+from repro.errors import BlockNotFoundError
+from repro.multiformats.cid import Cid
+from repro.multiformats.multicodec import CODEC_DAG_PB
+
+
+class PinningBlockstore(Blockstore):
+    """A blockstore wrapper that tracks pins and supports mark/sweep GC."""
+
+    def __init__(self, backing: Blockstore | None = None) -> None:
+        self._backing = backing if backing is not None else MemoryBlockstore()
+        self._direct_pins: set[Cid] = set()
+        self._recursive_pins: set[Cid] = set()
+
+    # -- pin management -------------------------------------------------
+
+    def pin(self, cid: Cid, recursive: bool = True) -> None:
+        """Protect ``cid`` (and, if recursive, its whole DAG) from GC."""
+        if recursive:
+            self._recursive_pins.add(cid)
+            self._direct_pins.discard(cid)
+        else:
+            if cid not in self._recursive_pins:
+                self._direct_pins.add(cid)
+
+    def unpin(self, cid: Cid) -> None:
+        """Remove any pin on ``cid`` (the blocks become GC-able)."""
+        self._direct_pins.discard(cid)
+        self._recursive_pins.discard(cid)
+
+    def is_pinned(self, cid: Cid) -> bool:
+        """Whether ``cid`` is protected by a direct or recursive pin."""
+        return cid in self._direct_pins or cid in self._recursive_pins
+
+    def pins(self) -> set[Cid]:
+        """All pinned CIDs (direct and recursive)."""
+        return self._direct_pins | self._recursive_pins
+
+    # -- garbage collection ---------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Remove every block unreachable from a pin; returns the count."""
+        live: set[Cid] = set(self._direct_pins)
+        for root in self._recursive_pins:
+            self._mark(root, live)
+        removed = 0
+        for cid in list(self._backing.cids()):
+            if cid not in live:
+                self._backing.delete(cid)
+                removed += 1
+        return removed
+
+    def _mark(self, cid: Cid, live: set[Cid]) -> None:
+        if cid in live:
+            return
+        live.add(cid)
+        try:
+            block = self._backing.get(cid)
+        except BlockNotFoundError:
+            return  # partial DAG: pinned root with missing children
+        if cid.codec == CODEC_DAG_PB:
+            from repro.merkledag.dag import DagNode  # local: avoids import cycle
+
+            for link in DagNode.decode(block.data).links:
+                self._mark(link.cid, live)
+
+    # -- Blockstore interface (delegation) -------------------------------
+
+    def put(self, block: Block) -> None:
+        self._backing.put(block)
+
+    def get(self, cid: Cid) -> Block:
+        return self._backing.get(cid)
+
+    def has(self, cid: Cid) -> bool:
+        return self._backing.has(cid)
+
+    def delete(self, cid: Cid) -> None:
+        if self.is_pinned(cid):
+            raise ValueError(f"cannot delete pinned block: {cid}")
+        self._backing.delete(cid)
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    def cids(self) -> Iterator[Cid]:
+        return self._backing.cids()
+
+    def size_bytes(self) -> int:
+        return self._backing.size_bytes()

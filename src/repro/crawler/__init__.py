@@ -1,0 +1,26 @@
+"""The measurement crawler (Section 4.1).
+
+Reimplements the paper's Nebula-style methodology:
+
+- :mod:`repro.crawler.crawl` — recursively asks peers for their
+  k-bucket entries (bucket-targeted FIND_NODE queries) starting from
+  the bootstrap peers, until no new peers appear; records which peers
+  were dialable.
+- :mod:`repro.crawler.prober` — revisits discovered peers with an
+  adaptive interval (0.5x the observed uptime, clamped to
+  [30 s, 15 min]) to measure session lengths.
+- :mod:`repro.crawler.sessions` — turns probe timelines into the
+  session observations Figure 8 is computed from.
+"""
+
+from repro.crawler.crawl import CrawlResult, Crawler
+from repro.crawler.prober import ProbeConfig, UptimeProber
+from repro.crawler.sessions import extract_sessions
+
+__all__ = [
+    "CrawlResult",
+    "Crawler",
+    "ProbeConfig",
+    "UptimeProber",
+    "extract_sessions",
+]

@@ -1,0 +1,72 @@
+"""Session extraction from probe timelines.
+
+A session is a maximal run of online observations; its length is
+measured between the first and last probe that saw the peer online
+(the crawler's sampling interval quantizes this, which is why Figure 8
+shows a step shape — our reproduction exhibits the same artifact).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.crawler.prober import PeerTimeline
+from repro.measurement.churn_analysis import SessionObservation
+from repro.multiformats.peerid import PeerId
+
+
+def extract_sessions(
+    timelines: Mapping[PeerId, PeerTimeline],
+    group_of: Mapping[PeerId, str],
+    window_end: float,
+) -> list[SessionObservation]:
+    """Turn probe timelines into session observations.
+
+    Sessions still open at ``window_end`` are truncated there (the
+    bias-handling filter in :mod:`repro.measurement.churn_analysis`
+    deals with the censoring).
+    """
+    sessions: list[SessionObservation] = []
+    for peer_id, timeline in timelines.items():
+        group = group_of.get(peer_id, "??")
+        start: float | None = None
+        last_online: float | None = None
+        for when, online in timeline.observations:
+            if online:
+                if start is None:
+                    start = when
+                last_online = when
+            elif start is not None:
+                sessions.append(
+                    SessionObservation(peer_id, group, start, max(last_online, start))
+                )
+                start = None
+                last_online = None
+        if start is not None:
+            sessions.append(
+                SessionObservation(peer_id, group, start, min(window_end, window_end))
+            )
+    return sessions
+
+
+def online_intervals(
+    timelines: Mapping[PeerId, PeerTimeline], window_end: float
+) -> dict[PeerId, list[tuple[float, float]]]:
+    """Per-peer online intervals for uptime-fraction analysis (Fig 7a/b)."""
+    intervals: dict[PeerId, list[tuple[float, float]]] = {}
+    for peer_id, timeline in timelines.items():
+        spans: list[tuple[float, float]] = []
+        start: float | None = None
+        last: float | None = None
+        for when, online in timeline.observations:
+            if online:
+                if start is None:
+                    start = when
+                last = when
+            elif start is not None:
+                spans.append((start, last if last is not None else start))
+                start = None
+        if start is not None:
+            spans.append((start, window_end))
+        intervals[peer_id] = spans
+    return intervals

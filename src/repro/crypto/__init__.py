@@ -1,0 +1,16 @@
+"""Key pairs and signatures for peer identity and IPNS.
+
+The live network uses Ed25519/RSA via libp2p. We have no crypto
+dependency available offline, so :mod:`repro.crypto.keys` implements a
+pure-Python Schnorr signature over the multiplicative group of
+``p = 2**255 - 19`` (a genuine prime — the Curve25519 field prime).
+
+The scheme provides the *functional* properties IPFS relies on —
+PeerIDs derived from public keys, signed records whose tampering is
+detectable, deterministic verification — and is NOT intended to provide
+production-grade security (see DESIGN.md, substitution table).
+"""
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+
+__all__ = ["KeyPair", "PrivateKey", "PublicKey", "generate_keypair"]

@@ -1,0 +1,137 @@
+"""Schnorr signatures over the prime field ``p = 2**255 - 19``.
+
+Scheme (classic Schnorr in the multiplicative group ``Z_p^*``):
+
+- private key ``x`` uniform in ``[1, p - 2]``; public key ``y = g^x``.
+- sign(m): pick nonce ``k`` (derived deterministically from the key and
+  message, RFC-6979 style, so signing needs no RNG), compute
+  ``r = g^k``, challenge ``c = H(r || y || m)``, response
+  ``s = k + c*x mod (p - 1)``. Signature is ``(r, s)``.
+- verify: ``g^s == r * y^c (mod p)``.
+
+The group order ``p - 1`` is composite, which weakens security but not
+correctness; this is a simulation-grade scheme (see package docstring).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+from repro.multiformats.peerid import PeerId
+
+#: The Curve25519 field prime (genuinely prime).
+PRIME = 2**255 - 19
+
+#: Group generator. 2 generates a large subgroup of Z_p^*.
+GENERATOR = 2
+
+#: Order of the full multiplicative group.
+GROUP_ORDER = PRIME - 1
+
+_KEY_BYTES = 32
+
+
+def _hash_to_int(*parts: bytes) -> int:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return int.from_bytes(hasher.digest(), "big")
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A serializable public key ``y = g^x mod p``."""
+
+    y: int
+
+    def to_bytes(self) -> bytes:
+        """Canonical 32-byte big-endian serialization."""
+        return self.y.to_bytes(_KEY_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        if len(data) != _KEY_BYTES:
+            raise CryptoError(f"public key must be {_KEY_BYTES} bytes, got {len(data)}")
+        y = int.from_bytes(data, "big")
+        if not 1 < y < PRIME:
+            raise CryptoError("public key out of range")
+        return cls(y)
+
+    def peer_id(self) -> PeerId:
+        """The PeerID is the multihash of the serialized public key."""
+        return PeerId.from_public_key(self.to_bytes())
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Check a signature produced by the matching private key."""
+        if len(signature) != 2 * _KEY_BYTES:
+            return False
+        r = int.from_bytes(signature[:_KEY_BYTES], "big")
+        s = int.from_bytes(signature[_KEY_BYTES:], "big")
+        if not 0 < r < PRIME or not 0 <= s < GROUP_ORDER:
+            return False
+        c = _hash_to_int(signature[:_KEY_BYTES], self.to_bytes(), message) % GROUP_ORDER
+        left = pow(GENERATOR, s, PRIME)
+        right = (r * pow(self.y, c, PRIME)) % PRIME
+        return left == right
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """The secret exponent ``x``. Signing is deterministic."""
+
+    x: int
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(pow(GENERATOR, self.x, PRIME))
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a 64-byte signature over ``message``.
+
+        The nonce is derived from the private key and message (as in
+        RFC 6979) so repeated signing of the same message yields the
+        same signature and no RNG state is consumed.
+        """
+        secret = self.x.to_bytes(_KEY_BYTES, "big")
+        k = _hash_to_int(b"nonce", secret, message) % GROUP_ORDER
+        if k == 0:
+            k = 1
+        r = pow(GENERATOR, k, PRIME)
+        r_bytes = r.to_bytes(_KEY_BYTES, "big")
+        c = _hash_to_int(r_bytes, self.public_key().to_bytes(), message) % GROUP_ORDER
+        s = (k + c * self.x) % GROUP_ORDER
+        return r_bytes + s.to_bytes(_KEY_BYTES, "big")
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private/public key pair plus the derived PeerID."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @property
+    def peer_id(self) -> PeerId:
+        return self.public.peer_id()
+
+    def sign(self, message: bytes) -> bytes:
+        return self.private.sign(message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.public.verify(message, signature)
+
+
+def generate_keypair(rng: random.Random) -> KeyPair:
+    """Generate a key pair from the provided RNG (deterministic tests).
+
+    >>> from repro.utils import rng_from_seed
+    >>> pair = generate_keypair(rng_from_seed(7))
+    >>> pair.verify(b'msg', pair.sign(b'msg'))
+    True
+    """
+    x = rng.randrange(2, GROUP_ORDER - 1)
+    private = PrivateKey(x)
+    return KeyPair(private, private.public_key())

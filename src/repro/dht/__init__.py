@@ -1,0 +1,42 @@
+"""The Kademlia DHT used for content indexing (Section 2.3).
+
+IPFS-specific deviations from the original Kademlia paper, all
+implemented here:
+
+- 256-bit SHA256 keys instead of 160-bit SHA1 (collision resistance);
+- 256 k-buckets of k = 20 entries each;
+- reliable transports (TCP/QUIC) instead of UDP;
+- a DHT *client/server* distinction (AutoNAT-gated) that keeps
+  unreachable peers out of routing tables;
+- provider records replicated on the k = 20 closest peers, with a 12 h
+  republish and 24 h expiry interval.
+
+Modules: :mod:`keyspace` (XOR metric), :mod:`routing_table`,
+:mod:`records` + :mod:`provider_store`, :mod:`dht_node` (the RPC
+server), :mod:`lookup` (iterative DHT walks).
+"""
+
+from repro.dht.dht_node import DhtNode
+from repro.dht.keyspace import (
+    KEY_BITS,
+    bucket_index,
+    key_for_cid,
+    key_for_peer,
+    xor_distance,
+)
+from repro.dht.lookup import LookupStats
+from repro.dht.records import PeerRecord, ProviderRecord
+from repro.dht.routing_table import RoutingTable
+
+__all__ = [
+    "DhtNode",
+    "KEY_BITS",
+    "LookupStats",
+    "PeerRecord",
+    "ProviderRecord",
+    "RoutingTable",
+    "bucket_index",
+    "key_for_cid",
+    "key_for_peer",
+    "xor_distance",
+]

@@ -1,0 +1,56 @@
+"""The 256-bit XOR keyspace.
+
+CIDs and PeerIDs share one keyspace: both are mapped to 32-byte keys by
+SHA256-hashing their binary representations (Section 2.3). Distance is
+the XOR metric of Kademlia: d(a, b) = a XOR b interpreted as an
+integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+
+#: Key width in bits; also the number of k-buckets.
+KEY_BITS = 256
+
+KEY_BYTES = KEY_BITS // 8
+
+
+def key_for_cid(cid: Cid) -> bytes:
+    """The DHT key of a CID: SHA256 of its binary form."""
+    return hashlib.sha256(cid.encode_binary()).digest()
+
+
+def key_for_peer(peer_id: PeerId) -> bytes:
+    """The DHT key of a peer: SHA256 of its binary PeerID."""
+    return peer_id.dht_key()
+
+
+def xor_distance(key_a: bytes, key_b: bytes) -> int:
+    """Kademlia distance: the keys XORed, read as a big-endian int."""
+    if len(key_a) != KEY_BYTES or len(key_b) != KEY_BYTES:
+        raise ValueError("keys must be 32 bytes")
+    return int.from_bytes(key_a, "big") ^ int.from_bytes(key_b, "big")
+
+
+def common_prefix_length(key_a: bytes, key_b: bytes) -> int:
+    """Number of leading bits shared by the two keys (0..256)."""
+    distance = xor_distance(key_a, key_b)
+    if distance == 0:
+        return KEY_BITS
+    return KEY_BITS - distance.bit_length()
+
+
+def bucket_index(own_key: bytes, other_key: bytes) -> int:
+    """The k-bucket a peer belongs to, by common prefix length.
+
+    Follows go-libp2p-kbucket: bucket i holds peers sharing exactly i
+    leading bits with us. A peer equal to ourselves has no bucket;
+    callers must not insert it (we return KEY_BITS - 1 clamped, as the
+    Go implementation caps the bucket list).
+    """
+    cpl = common_prefix_length(own_key, other_key)
+    return min(cpl, KEY_BITS - 1)

@@ -1,0 +1,285 @@
+"""Multi-round iterative DHT walks (Section 3.2).
+
+A walk keeps a shortlist of candidates ordered by XOR distance to the
+target, queries up to α = 3 of them concurrently, merges the closer
+peers each response reveals, and terminates depending on the walk kind:
+
+- *closest-peers* walk (publication, Figure 9b): ends when the k = 20
+  closest known candidates have all been queried successfully — the
+  expensive variant;
+- *provider* walk (retrieval, Figure 9e): ends as soon as one response
+  carries a provider record;
+- *peer-record* walk (peer discovery): ends when the record is found.
+
+Peers that fail to answer within the RPC timeout are marked failed and
+evicted from the routing table; their dial timeouts (5 s TCP/QUIC, 45 s
+WebSocket) are what drags the publication walk out to tens of seconds
+on a network where 45.5 % of advertised peers are unreachable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.dht import rpc
+from repro.dht.keyspace import key_for_cid, key_for_peer
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+from repro.simnet.sim import Future, any_of, with_timeout
+
+if TYPE_CHECKING:
+    from repro.dht.dht_node import DhtNode
+
+#: Lookup concurrency (α) from the original Kademlia paper.
+ALPHA = 3
+
+
+@dataclass(frozen=True)
+class LookupConfig:
+    """Tunables of the iterative walk (the ablation benches vary α)."""
+
+    alpha: int = ALPHA
+    k: int = 20
+    rpc_timeout_s: float = 10.0
+    max_rpcs: int = 150
+    #: go-libp2p keeps a dial queue ahead of the query slots: candidate
+    #: connections are opened in the background so dial failures prune
+    #: the shortlist without blocking one of the α query slots.
+    dial_ahead: int = 3
+
+
+@dataclass
+class LookupStats:
+    """What one walk did (reported by the perf experiment)."""
+
+    rpcs_sent: int = 0
+    rpcs_ok: int = 0
+    rpcs_failed: int = 0
+    peers_discovered: int = 0
+    hops: int = 0
+    exhausted: bool = False
+
+
+@dataclass
+class _Candidate:
+    peer_id: PeerId
+    distance: int
+    depth: int
+    state: str = "new"  # new | inflight | ok | failed
+
+
+class _Walk:
+    """Shared machinery for all three walk kinds."""
+
+    def __init__(self, node: "DhtNode", target_key: bytes) -> None:
+        self.node = node
+        self.config = node.config
+        self.target_key = target_key
+        self.target_int = int.from_bytes(target_key, "big")
+        self.stats = LookupStats()
+        self.candidates: dict[PeerId, _Candidate] = {}
+        self.inflight: dict[int, tuple[PeerId, Future]] = {}
+        self._next_tag = 0
+        self._dialing: set[PeerId] = set()
+        # Seed with a full bucket's worth of candidates even when the
+        # walk only needs the k closest (a k=1 walk seeded with one
+        # possibly-dead peer would abort instantly).
+        seeds = node.routing_table.closest(target_key, max(self.config.k, 20))
+        for peer_id in seeds:
+            self._add_candidate(peer_id, depth=0)
+
+    def _add_candidate(self, peer_id: PeerId, depth: int) -> None:
+        if peer_id == self.node.host.peer_id or peer_id in self.candidates:
+            return
+        distance = int.from_bytes(key_for_peer(peer_id), "big") ^ self.target_int
+        self.candidates[peer_id] = _Candidate(peer_id, distance, depth)
+        self.stats.peers_discovered += 1
+
+    def _sorted_live(self) -> list[_Candidate]:
+        live = [c for c in self.candidates.values() if c.state != "failed"]
+        live.sort(key=lambda c: c.distance)
+        return live
+
+    def _launch(self, candidate: _Candidate, method: str, request: Any, size: int) -> None:
+        candidate.state = "inflight"
+        self.stats.rpcs_sent += 1
+        future = with_timeout(
+            self.node.sim,
+            self.node.network.rpc(
+                self.node.host, candidate.peer_id, method, request, request_size=size
+            ),
+            self.config.rpc_timeout_s,
+        )
+        outcome: Future = Future()
+        tag = self._next_tag
+        self._next_tag += 1
+
+        def settle(inner: Future) -> None:
+            outcome.resolve((tag, inner))
+
+        future.add_callback(settle)
+        self.inflight[tag] = (candidate.peer_id, outcome)
+
+    def _dial_ahead(self, live: list[_Candidate]) -> None:
+        """Pre-dial the next closest candidates in the background.
+
+        A failed background dial marks the candidate failed (and evicts
+        it from the routing table) without occupying a query slot —
+        go-libp2p's dial-queue behaviour.
+        """
+        budget = self.config.dial_ahead - len(self._dialing)
+        if budget <= 0:
+            return
+        for candidate in live:
+            if budget <= 0:
+                break
+            if candidate.state != "new" or candidate.peer_id in self._dialing:
+                continue
+            if self.node.host.is_connected(candidate.peer_id):
+                continue
+            self._dialing.add(candidate.peer_id)
+            budget -= 1
+
+            def on_dialed(future: Future, peer_id=candidate.peer_id) -> None:
+                self._dialing.discard(peer_id)
+                target = self.candidates.get(peer_id)
+                if future.failed and target is not None and target.state == "new":
+                    target.state = "failed"
+                    self.node.routing_table.remove(peer_id)
+
+            self.node.network.dial(self.node.host, candidate.peer_id).add_callback(
+                on_dialed
+            )
+
+    def run(
+        self,
+        make_request: Callable[[], tuple[str, Any, int]],
+        handle_response: Callable[[PeerId, Any], bool],
+        want_closest: bool,
+    ) -> Generator:
+        """Drive the walk; ``handle_response`` returns True to finish.
+
+        Returns the sorted list of successfully-queried closest peers
+        (meaningful for the closest-peers walk).
+        """
+        config = self.config
+        while True:
+            live = self._sorted_live()
+            if want_closest:
+                top = live[: config.k]
+                if top and all(c.state == "ok" for c in top):
+                    return [c.peer_id for c in top]
+            # Launch new RPCs from the closest unqueried candidates.
+            budget_left = self.stats.rpcs_sent < config.max_rpcs
+            if budget_left:
+                for candidate in live:
+                    if len(self.inflight) >= config.alpha:
+                        break
+                    if candidate.state == "new":
+                        method, request, size = make_request()
+                        self._launch(candidate, method, request, size)
+                self._dial_ahead(live)
+            if not self.inflight:
+                # Exhausted: nothing in flight and nothing new to ask.
+                self.stats.exhausted = True
+                done = [c for c in self._sorted_live() if c.state == "ok"]
+                return [c.peer_id for c in done[: config.k]]
+            tag_and_future = yield any_of([f for _, f in self.inflight.values()])
+            _, (tag, inner) = tag_and_future
+            peer_id, _ = self.inflight.pop(tag)
+            candidate = self.candidates[peer_id]
+            if inner.failed:
+                candidate.state = "failed"
+                self.stats.rpcs_failed += 1
+                self.node.routing_table.remove(peer_id)
+                continue
+            candidate.state = "ok"
+            self.stats.rpcs_ok += 1
+            self.stats.hops = max(self.stats.hops, candidate.depth + 1)
+            self.node.routing_table.add(peer_id)
+            response = inner.result()
+            for closer in getattr(response, "closer_peers", ()):
+                self._add_candidate(closer, candidate.depth + 1)
+            if handle_response(peer_id, response):
+                return [c.peer_id for c in self._sorted_live() if c.state == "ok"]
+
+
+def get_closest_peers(node: "DhtNode", target_key: bytes) -> Generator:
+    """The closest-peers walk; returns ``(peers, stats)``."""
+    walk = _Walk(node, target_key)
+
+    def make_request() -> tuple[str, Any, int]:
+        return rpc.FIND_NODE, rpc.FindNodeRequest(target_key), 64
+
+    peers = yield from walk.run(make_request, lambda pid, resp: False, want_closest=True)
+    return peers, walk.stats
+
+
+def find_providers(node: "DhtNode", cid: Cid, max_providers: int = 1) -> Generator:
+    """The provider walk; returns ``(provider_records, stats)``."""
+    key = key_for_cid(cid)
+    walk = _Walk(node, key)
+    found: list = []
+    seen_providers: set[PeerId] = set()
+
+    def make_request() -> tuple[str, Any, int]:
+        return rpc.GET_PROVIDERS, rpc.GetProvidersRequest(key, cid), 64
+
+    def handle_response(peer_id: PeerId, response: Any) -> bool:
+        for record in getattr(response, "providers", ()):
+            if record.provider not in seen_providers:
+                seen_providers.add(record.provider)
+                found.append(record)
+        for peer_record in getattr(response, "provider_addresses", ()):
+            node.address_hints[peer_record.peer_id] = peer_record
+        return len(found) >= max_providers
+
+    yield from walk.run(make_request, handle_response, want_closest=False)
+    return found, walk.stats
+
+
+def find_peer_record(node: "DhtNode", peer_id: PeerId) -> Generator:
+    """The peer-record walk; returns ``(record_or_None, stats)``."""
+    key = key_for_peer(peer_id)
+    walk = _Walk(node, key)
+    box: list = []
+
+    def make_request() -> tuple[str, Any, int]:
+        return rpc.GET_PEER_RECORD, rpc.GetPeerRecordRequest(key, peer_id), 64
+
+    def handle_response(responder: PeerId, response: Any) -> bool:
+        record = getattr(response, "record", None)
+        if record is not None:
+            box.append(record)
+            return True
+        return False
+
+    yield from walk.run(make_request, handle_response, want_closest=False)
+    return (box[0] if box else None), walk.stats
+
+
+def find_value(node: "DhtNode", key: bytes) -> Generator:
+    """Walk for an opaque stored value; returns ``(value_or_None, stats)``.
+
+    Terminates on the first response carrying a value (go-ipfs applies
+    a quorum for IPNS; we return the freshest record the caller's
+    validator picks among what a quorum-of-one finds, which preserves
+    the resolution path's latency shape).
+    """
+    walk = _Walk(node, key)
+    box: list = []
+
+    def make_request() -> tuple[str, Any, int]:
+        return rpc.GET_VALUE, rpc.GetValueRequest(key), 64
+
+    def handle_response(responder: PeerId, response: Any) -> bool:
+        value = getattr(response, "value", None)
+        if value is not None:
+            box.append(value)
+            return True
+        return False
+
+    yield from walk.run(make_request, handle_response, want_closest=False)
+    return (box[0] if box else None), walk.stats

@@ -1,0 +1,86 @@
+"""Server-side storage for provider and peer records.
+
+Each DHT server keeps the records it was asked to store, dropping them
+after the expiry interval (24 h by default) so the network does not
+serve stale mappings (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.dht.records import EXPIRY_INTERVAL_S, PeerRecord, ProviderRecord
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+
+
+class ProviderStore:
+    """Provider records held by one DHT server, keyed by CID."""
+
+    def __init__(self, expiry_interval: float = EXPIRY_INTERVAL_S) -> None:
+        self._expiry = expiry_interval
+        self._records: dict[Cid, dict[PeerId, ProviderRecord]] = {}
+
+    def add(self, record: ProviderRecord) -> None:
+        """Store/refresh a record (latest publication time wins)."""
+        by_provider = self._records.setdefault(record.cid, {})
+        existing = by_provider.get(record.provider)
+        if existing is None or existing.published_at < record.published_at:
+            by_provider[record.provider] = record
+
+    def providers_for(self, cid: Cid, now: float) -> list[ProviderRecord]:
+        """Unexpired records for ``cid`` (expired ones are dropped)."""
+        by_provider = self._records.get(cid)
+        if not by_provider:
+            return []
+        live = {
+            provider: record
+            for provider, record in by_provider.items()
+            if not record.is_expired(now, self._expiry)
+        }
+        if live:
+            self._records[cid] = live
+        else:
+            del self._records[cid]
+        return list(live.values())
+
+    def sweep(self, now: float) -> int:
+        """Drop all expired records; returns how many were removed."""
+        removed = 0
+        for cid in list(self._records):
+            before = len(self._records[cid])
+            removed += before - len(self.providers_for(cid, now))
+        return removed
+
+    def record_count(self) -> int:
+        """Number of live records currently held."""
+        return sum(len(by_provider) for by_provider in self._records.values())
+
+    def cids(self) -> list[Cid]:
+        """CIDs with at least one stored provider record."""
+        return list(self._records)
+
+
+class PeerRecordStore:
+    """Peer records (PeerID -> addresses) held by one DHT server."""
+
+    def __init__(self, expiry_interval: float = EXPIRY_INTERVAL_S) -> None:
+        self._expiry = expiry_interval
+        self._records: dict[PeerId, PeerRecord] = {}
+
+    def put(self, record: PeerRecord) -> None:
+        """Store/refresh a peer record (latest publication wins)."""
+        existing = self._records.get(record.peer_id)
+        if existing is None or existing.published_at <= record.published_at:
+            self._records[record.peer_id] = record
+
+    def get(self, peer_id: PeerId, now: float) -> PeerRecord | None:
+        """The unexpired record for ``peer_id``, dropping stale ones."""
+        record = self._records.get(peer_id)
+        if record is None:
+            return None
+        if record.is_expired(now, self._expiry):
+            del self._records[peer_id]
+            return None
+        return record
+
+    def record_count(self) -> int:
+        return len(self._records)

@@ -1,0 +1,56 @@
+"""Provider records and peer records (Sections 3.1–3.2).
+
+A *provider record* maps a CID to a PeerID that can serve the content.
+A *peer record* maps a PeerID to its Multiaddresses. Both are published
+to the k closest DHT servers and carry freshness metadata:
+
+- republish interval: 12 h (the publisher refreshes the record so new
+  closest peers get a copy despite churn);
+- expiry interval: 24 h (receivers drop records whose publisher may
+  have gone away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multiformats.cid import Cid
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+
+#: Default re-publication interval (Section 3.1): 12 hours.
+REPUBLISH_INTERVAL_S = 12 * 3600.0
+
+#: Default record expiry (Section 3.1): 24 hours.
+EXPIRY_INTERVAL_S = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class ProviderRecord:
+    """CID -> PeerID mapping stored on the k closest DHT servers."""
+
+    cid: Cid
+    provider: PeerId
+    published_at: float
+
+    def expires_at(self, expiry_interval: float = EXPIRY_INTERVAL_S) -> float:
+        return self.published_at + expiry_interval
+
+    def is_expired(self, now: float, expiry_interval: float = EXPIRY_INTERVAL_S) -> bool:
+        return now >= self.expires_at(expiry_interval)
+
+
+@dataclass(frozen=True)
+class PeerRecord:
+    """PeerID -> Multiaddresses mapping (the 'peer record').
+
+    Resolved during *peer discovery*, the second DHT walk of the
+    retrieval path (Figure 3's omitted step).
+    """
+
+    peer_id: PeerId
+    addresses: tuple[Multiaddr, ...]
+    published_at: float
+
+    def is_expired(self, now: float, expiry_interval: float = EXPIRY_INTERVAL_S) -> bool:
+        return now >= self.published_at + expiry_interval

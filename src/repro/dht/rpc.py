@@ -1,0 +1,126 @@
+"""DHT RPC message types.
+
+Four RPCs drive the DHT (Sections 3.1–3.2):
+
+- ``FIND_NODE`` — closer-peer queries that power every DHT walk;
+- ``ADD_PROVIDER`` — store a provider record (published with
+  fire-and-forget semantics);
+- ``GET_PROVIDERS`` — content discovery: returns provider records if
+  the responder has them, else closer peers;
+- ``PUT_PEER_RECORD`` / ``GET_PEER_RECORD`` — peer discovery: map a
+  PeerID to its addresses (the retrieval path's second walk).
+
+Payloads are plain dataclasses; the simulated wire sizes approximate
+the protobuf encodings of the real protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dht.records import PeerRecord, ProviderRecord
+from repro.multiformats.peerid import PeerId
+
+FIND_NODE = "dht/FIND_NODE"
+ADD_PROVIDER = "dht/ADD_PROVIDER"
+GET_PROVIDERS = "dht/GET_PROVIDERS"
+PUT_PEER_RECORD = "dht/PUT_PEER_RECORD"
+GET_PEER_RECORD = "dht/GET_PEER_RECORD"
+PUT_VALUE = "dht/PUT_VALUE"
+GET_VALUE = "dht/GET_VALUE"
+
+#: Approximate wire size of one peer entry in a response (PeerID +
+#: a couple of Multiaddresses, protobuf-framed).
+PEER_ENTRY_SIZE = 120
+
+#: Approximate wire size of one provider record on the wire.
+PROVIDER_RECORD_SIZE = 150
+
+
+@dataclass(frozen=True)
+class FindNodeRequest:
+    target_key: bytes
+
+
+@dataclass(frozen=True)
+class FindNodeResponse:
+    closer_peers: tuple[PeerId, ...]
+
+    def wire_size(self) -> int:
+        return 32 + PEER_ENTRY_SIZE * len(self.closer_peers)
+
+
+@dataclass(frozen=True)
+class AddProviderRequest:
+    """Store a provider record. As in go-ipfs, the provider self-reports
+    its multiaddresses so record holders can answer later GET_PROVIDERS
+    with addresses attached (saving the requester the second walk while
+    the addresses stay fresh)."""
+
+    record: ProviderRecord
+    addresses: tuple = ()
+
+
+@dataclass(frozen=True)
+class GetProvidersRequest:
+    cid_key: bytes
+    cid: object  # repro.multiformats.cid.Cid (kept loose to avoid cycle)
+
+
+@dataclass(frozen=True)
+class GetProvidersResponse:
+    providers: tuple[ProviderRecord, ...]
+    closer_peers: tuple[PeerId, ...]
+    #: fresh cached addresses for (a subset of) the providers
+    provider_addresses: tuple[PeerRecord, ...] = ()
+
+    def wire_size(self) -> int:
+        return (
+            32
+            + PROVIDER_RECORD_SIZE * len(self.providers)
+            + PEER_ENTRY_SIZE * (len(self.closer_peers) + len(self.provider_addresses))
+        )
+
+
+@dataclass(frozen=True)
+class PutPeerRecordRequest:
+    record: PeerRecord
+
+
+@dataclass(frozen=True)
+class GetPeerRecordRequest:
+    peer_key: bytes
+    peer_id: PeerId
+
+
+@dataclass(frozen=True)
+class GetPeerRecordResponse:
+    record: PeerRecord | None
+    closer_peers: tuple[PeerId, ...]
+
+    def wire_size(self) -> int:
+        base = 32 + PEER_ENTRY_SIZE * len(self.closer_peers)
+        return base + (PEER_ENTRY_SIZE if self.record is not None else 0)
+
+
+@dataclass(frozen=True)
+class PutValueRequest:
+    """Store an opaque, validated value (IPNS records use this)."""
+
+    key: bytes
+    value: bytes
+
+
+@dataclass(frozen=True)
+class GetValueRequest:
+    key: bytes
+
+
+@dataclass(frozen=True)
+class GetValueResponse:
+    value: bytes | None
+    closer_peers: tuple[PeerId, ...]
+
+    def wire_size(self) -> int:
+        base = 32 + PEER_ENTRY_SIZE * len(self.closer_peers)
+        return base + (len(self.value) if self.value is not None else 0)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``, ``ValueError`` from unrelated code, etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DecodeError(ReproError):
+    """Raised when malformed binary or textual data cannot be decoded."""
+
+
+class CidError(ReproError):
+    """Raised for malformed or unsupported Content Identifiers."""
+
+
+class MultiaddrError(ReproError):
+    """Raised for malformed Multiaddresses."""
+
+
+class CryptoError(ReproError):
+    """Raised on signature verification failures or malformed keys."""
+
+
+class BlockNotFoundError(ReproError):
+    """Raised when a blockstore does not hold the requested block."""
+
+    def __init__(self, cid: object) -> None:
+        super().__init__(f"block not found: {cid}")
+        self.cid = cid
+
+
+class DagError(ReproError):
+    """Raised when a Merkle-DAG is malformed or fails verification."""
+
+
+class RoutingError(ReproError):
+    """Raised when DHT routing cannot make progress."""
+
+
+class ProviderNotFoundError(RoutingError):
+    """Raised when no provider record can be located for a CID."""
+
+
+class PeerNotFoundError(RoutingError):
+    """Raised when a PeerID cannot be resolved to a network address."""
+
+
+class DialError(ReproError):
+    """Raised when a connection to a remote peer cannot be established."""
+
+
+class TransportTimeoutError(DialError):
+    """Raised when a dial or handshake exceeds its transport timeout."""
+
+
+class RetrievalError(ReproError):
+    """Raised when content retrieval fails end to end."""
+
+
+class PublishError(ReproError):
+    """Raised when content publication fails end to end."""
+
+
+class IpnsError(ReproError):
+    """Raised for invalid or unverifiable IPNS records."""
+
+
+class SimulationError(ReproError):
+    """Raised on inconsistent simulator state (a bug in the caller)."""

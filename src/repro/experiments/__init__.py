@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per paper evaluation section.
+
+- :mod:`repro.experiments.scenario` — builds a simulated IPFS world
+  from a synthetic population (the "live network" substitute).
+- :mod:`repro.experiments.perf` — the six-region publication/retrieval
+  experiment (Section 4.3/6.1/6.2: Table 1, Table 4, Figs 9 & 10).
+- :mod:`repro.experiments.deployment` — crawler-based deployment
+  analysis (Section 5: Figs 4a, 5, 7, 8, Tables 2 & 3).
+- :mod:`repro.experiments.gateway_exp` — gateway trace replay
+  (Sections 4.2/6.3: Figs 4b, 6, 11, Table 5).
+- :mod:`repro.experiments.report` — text rendering of tables/figures.
+"""
+
+from repro.experiments.scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = ["Scenario", "ScenarioConfig", "build_scenario"]

@@ -1,0 +1,168 @@
+"""World building: population -> simulated network.
+
+A scenario instantiates the synthetic population as simulated hosts
+with DHT nodes, wires churn processes, fast-forwards routing-table
+convergence, and (optionally) adds the six AWS-region vantage nodes of
+the performance experiment.
+
+Backdrop peers run plain :class:`~repro.dht.dht_node.DhtNode` state
+(cheap); vantage peers are full :class:`~repro.node.host.IpfsNode`
+instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bitswap.engine import BitswapEngine
+from repro.blockstore.memory import MemoryBlockstore
+from repro.dht.bootstrap import populate_routing_tables
+from repro.dht.dht_node import DhtNode
+from repro.multiformats.peerid import PeerId
+from repro.node.config import NodeConfig
+from repro.node.host import IpfsNode
+from repro.simnet.churn import ALWAYS_ON, SessionProcess
+from repro.simnet.latency import AWS_REGION_MAP, PeerClass, Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.transport import Transport
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+from repro.workloads.population import PeerSpec, Population
+
+#: The paper's six vantage regions (Section 4.3, Table 1).
+AWS_REGIONS = [
+    "af_south_1",
+    "ap_southeast_2",
+    "eu_central_1",
+    "me_south_1",
+    "sa_east_1",
+    "us_west_1",
+]
+
+#: The network runs six canonical bootstrap peers (Section 4.1).
+N_BOOTSTRAP = 6
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    seed: int = 42
+    #: start churn processes for the backdrop (disable for static worlds)
+    with_churn: bool = True
+    #: initial online probability for churning peers
+    initial_online_probability: float = 0.8
+    node_config: NodeConfig | None = None
+    #: When False, never-reachable (NAT'ed) peers are built as DHT
+    #: *clients*, so they cannot enter anyone's routing table — the
+    #: idealised post-v0.5 behaviour. True (default) keeps them as
+    #: stale server entries, which is what crawls of the live network
+    #: actually observe.
+    nat_peers_in_dht: bool = True
+
+
+@dataclass
+class Scenario:
+    """A wired-up world ready for experiments."""
+
+    sim: Simulator
+    net: SimNetwork
+    population: Population
+    backdrop: list[DhtNode]
+    vantage: dict[str, IpfsNode] = field(default_factory=dict)
+    bootstrap_ids: list[PeerId] = field(default_factory=list)
+    spec_by_peer: dict[PeerId, PeerSpec] = field(default_factory=dict)
+
+    def country_of(self, peer_id: PeerId) -> str:
+        spec = self.spec_by_peer.get(peer_id)
+        return spec.country if spec is not None else "??"
+
+
+def build_scenario(
+    population: Population,
+    config: ScenarioConfig | None = None,
+    vantage_regions: list[str] | None = None,
+) -> Scenario:
+    """Instantiate ``population`` as a simulated network.
+
+    ``vantage_regions`` adds one always-on datacenter IpfsNode per AWS
+    region named (each also publishes no peer record yet — experiments
+    do that explicitly, as go-ipfs does on startup).
+    """
+    config = config if config is not None else ScenarioConfig()
+    sim = Simulator()
+    rng = derive_rng(config.seed, "scenario")
+    net = SimNetwork(sim, derive_rng(config.seed, "net"))
+
+    all_transports = frozenset(
+        {Transport.TCP, Transport.QUIC, Transport.WEBSOCKET}
+    )
+    ws_only = frozenset({Transport.WEBSOCKET})
+
+    backdrop: list[DhtNode] = []
+    spec_by_peer: dict[PeerId, PeerSpec] = {}
+    for spec in population.peers:
+        # A small slice of peers is reachable over WebSocket only;
+        # dial timeouts against the unreachable ones produce the 45 s
+        # spike of Figure 9c.
+        transports = ws_only if rng.random() < 0.05 else all_transports
+        host = SimHost(
+            spec.peer_id,
+            region=spec.region,
+            peer_class=spec.peer_class,
+            nat_private=spec.reachability == "never",
+            online=spec.reachability != "never",
+            transports=transports,
+        )
+        host.agent_version = spec.agent_version  # type: ignore[attr-defined]
+        net.register(host)
+        # Never-reachable peers still appear in routing tables (stale
+        # entries are exactly what slows real walks down), so they are
+        # built as servers; their NAT flag keeps them undialable.
+        node = DhtNode(
+            sim, net, host,
+            derive_rng(config.seed, "dht", str(spec.index)),
+            server=config.nat_peers_in_dht or spec.reachability != "never",
+        )
+        # Every real IPFS node speaks Bitswap; backdrop peers get an
+        # engine over an empty store (they answer DONT_HAVE).
+        BitswapEngine(sim, net, host, MemoryBlockstore())
+        backdrop.append(node)
+        spec_by_peer[spec.peer_id] = spec
+        if config.with_churn and spec.reachability == "churning":
+            SessionProcess(
+                sim, host, spec.churn_model,
+                derive_rng(config.seed, "churn", str(spec.index)),
+                initial_online_probability=config.initial_online_probability,
+            )
+
+    scenario = Scenario(
+        sim=sim,
+        net=net,
+        population=population,
+        backdrop=backdrop,
+        spec_by_peer=spec_by_peer,
+    )
+
+    # Canonical bootstrap peers: the most reliable datacenter nodes.
+    reliable = [
+        node for node, spec in zip(backdrop, population.peers)
+        if spec.reachability == "reliable"
+    ] or backdrop
+    scenario.bootstrap_ids = [
+        node.host.peer_id for node in reliable[:N_BOOTSTRAP]
+    ]
+
+    for name in vantage_regions or []:
+        node = IpfsNode(
+            sim, net,
+            derive_rng(config.seed, "vantage", name),
+            region=AWS_REGION_MAP[name],
+            peer_class=PeerClass.DATACENTER,
+            config=config.node_config,
+            transports=all_transports,
+        )
+        scenario.vantage[name] = node
+
+    all_nodes = backdrop + [node.dht for node in scenario.vantage.values()]
+    populate_routing_tables(all_nodes, derive_rng(config.seed, "tables"))
+    return scenario

@@ -1,0 +1,30 @@
+"""HTTP gateways into IPFS (Sections 3.4 and 6.3).
+
+A gateway bridges plain-HTTP clients into the P2P network. Ours mirrors
+the ipfs.io deployment the paper instruments:
+
+- an **nginx-style web cache** (LRU) in front — tier 1, 0-latency hits;
+- the co-located node's **pinned store** (Web3/NFT Storage content) —
+  tier 2, single-digit-millisecond hits;
+- a full **IPFS retrieval** upstream for everything else — tier 3,
+  seconds.
+
+:mod:`repro.gateway.gateway` serves requests and emits access-log
+entries; :mod:`repro.gateway.logs` aggregates them into the quantities
+of Figure 11 and Table 5.
+"""
+
+from repro.gateway.cache import ObjectCache
+from repro.gateway.gateway import Gateway, UpstreamModel, default_upstream_model
+from repro.gateway.logs import AccessLogEntry, CacheTier, bin_traffic, tier_summary
+
+__all__ = [
+    "AccessLogEntry",
+    "CacheTier",
+    "Gateway",
+    "ObjectCache",
+    "UpstreamModel",
+    "bin_traffic",
+    "default_upstream_model",
+    "tier_summary",
+]

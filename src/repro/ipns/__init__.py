@@ -1,0 +1,19 @@
+"""IPNS: mutable names over immutable content (Section 3.3).
+
+CIDs are permanent and self-certifying, which breaks down for evolving
+content. IPNS publishes a signed record mapping the hash of the
+publisher's *public key* (a stable name) to the current CID. Updating
+content means signing a new record with a higher sequence number; the
+name itself never changes.
+"""
+
+from repro.ipns.record import IpnsRecord, ipns_key_for
+from repro.ipns.resolver import IpnsPublisher, IpnsResolver, install_ipns_validator
+
+__all__ = [
+    "IpnsPublisher",
+    "IpnsRecord",
+    "IpnsResolver",
+    "install_ipns_validator",
+    "ipns_key_for",
+]

@@ -1,0 +1,80 @@
+"""DNSLink: human-readable names over IPFS (paper reference [3]).
+
+DNSLink maps a DNS domain to IPFS content via a TXT record of the form
+``dnslink=/ipfs/<CID>`` or ``dnslink=/ipns/<PeerID>``. Browsers and
+gateways resolve ``/ipns/example.org`` by reading that record, then
+following the target (possibly through IPNS). Since the sandbox has no
+DNS, :class:`DnsRegistry` is a synthetic zone file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.errors import IpnsError
+from repro.ipns.resolver import IpnsResolver
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+
+#: Maximum /ipns -> /ipns indirections during resolution.
+MAX_INDIRECTIONS = 8
+
+
+@dataclass
+class DnsRegistry:
+    """A synthetic DNS zone holding ``dnslink=`` TXT records."""
+
+    _records: dict[str, str] = field(default_factory=dict)
+
+    def set_link(self, domain: str, target: str) -> None:
+        """Publish ``dnslink=<target>`` for ``domain``.
+
+        ``target`` must be ``/ipfs/<cid>`` or ``/ipns/<name>``.
+        """
+        domain = domain.lower().strip(".")
+        if not domain or " " in domain:
+            raise IpnsError(f"invalid domain: {domain!r}")
+        if not (target.startswith("/ipfs/") or target.startswith("/ipns/")):
+            raise IpnsError(f"dnslink target must be /ipfs/... or /ipns/...: {target}")
+        self._records[domain] = target
+
+    def lookup(self, domain: str) -> str | None:
+        """The TXT dnslink value, or None when the domain has none."""
+        return self._records.get(domain.lower().strip("."))
+
+    def remove(self, domain: str) -> None:
+        self._records.pop(domain.lower().strip("."), None)
+
+
+class DnsLinkResolver:
+    """Resolves domains (and /ipns paths generally) to CIDs."""
+
+    def __init__(self, registry: DnsRegistry, ipns: IpnsResolver) -> None:
+        self.registry = registry
+        self.ipns = ipns
+
+    def resolve(self, name: str) -> Generator:
+        """Resolve a domain or an ``/ipns/...``/``/ipfs/...`` path.
+
+        Follows dnslink and IPNS indirections up to
+        :data:`MAX_INDIRECTIONS` deep; returns the final CID.
+        """
+        target = name
+        if not target.startswith("/"):
+            target = f"/ipns/{target}"
+        for _ in range(MAX_INDIRECTIONS):
+            if target.startswith("/ipfs/"):
+                return Cid.decode(target[len("/ipfs/"):])
+            if not target.startswith("/ipns/"):
+                raise IpnsError(f"unresolvable name: {target}")
+            label = target[len("/ipns/"):]
+            if "." in label:  # a domain -> DNS TXT lookup
+                linked = self.registry.lookup(label)
+                if linked is None:
+                    raise IpnsError(f"no dnslink record for {label}")
+                target = linked
+            else:  # a PeerID -> IPNS record lookup
+                cid = yield from self.ipns.resolve(PeerId.decode(label))
+                return cid
+        raise IpnsError(f"too many dnslink indirections from {name}")

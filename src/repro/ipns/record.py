@@ -1,0 +1,137 @@
+"""Signed, versioned IPNS records.
+
+An IPNS record binds ``/ipns/<PeerID>`` to a CID. It carries:
+
+- the target CID (``value``),
+- a monotonically increasing ``sequence`` number (freshness),
+- a ``validity`` deadline (records expire like provider records do),
+- the publisher's public key and a signature over all of the above.
+
+Anyone can verify a record against the name alone, because the name is
+the hash of the public key embedded in the record — the same
+self-certification trick CIDs use, applied to mutability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.errors import IpnsError
+from repro.multiformats.cid import Cid
+from repro.multiformats.peerid import PeerId
+from repro.utils.varint import encode_varint, read_varint
+
+#: Default record validity window: 24 h, matching provider records.
+DEFAULT_VALIDITY_S = 24 * 3600.0
+
+
+def ipns_key_for(peer_id: PeerId) -> bytes:
+    """The DHT key under which a peer's IPNS record is stored."""
+    import hashlib
+
+    return hashlib.sha256(b"/ipns/" + peer_id.to_bytes()).digest()
+
+
+@dataclass(frozen=True)
+class IpnsRecord:
+    """A decoded IPNS record."""
+
+    value: Cid
+    sequence: int
+    valid_until: float
+    public_key: bytes
+    signature: bytes
+
+    @property
+    def name(self) -> PeerId:
+        """The record's name: the hash of the embedded public key."""
+        return PeerId.from_public_key(self.public_key)
+
+    def _signed_payload(self) -> bytes:
+        return _signable(self.value, self.sequence, self.valid_until)
+
+    def verify(self, expected_name: PeerId, now: float) -> bool:
+        """Full validation: key binding, signature, and freshness."""
+        if not expected_name.matches_public_key(self.public_key):
+            return False
+        if now >= self.valid_until:
+            return False
+        try:
+            key = PublicKey.from_bytes(self.public_key)
+        except Exception:  # noqa: BLE001 - malformed key is just invalid
+            return False
+        return key.verify(self._signed_payload(), self.signature)
+
+    # -- wire form ------------------------------------------------------
+
+    def encode(self) -> bytes:
+        parts = []
+        for blob in (
+            self.value.encode_binary(),
+            encode_varint(self.sequence),
+            _encode_float(self.valid_until),
+            self.public_key,
+            self.signature,
+        ):
+            parts.append(encode_varint(len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "IpnsRecord":
+        try:
+            blobs = []
+            offset = 0
+            for _ in range(5):
+                length, offset = read_varint(raw, offset)
+                blob = raw[offset : offset + length]
+                if len(blob) != length:
+                    raise IpnsError("truncated IPNS record")
+                blobs.append(blob)
+                offset += length
+            if offset != len(raw):
+                raise IpnsError("trailing bytes after IPNS record")
+            value = Cid.decode_binary(blobs[0])
+            sequence, end = read_varint(blobs[1], 0)
+            if end != len(blobs[1]):
+                raise IpnsError("malformed sequence")
+            valid_until = _decode_float(blobs[2])
+            return cls(value, sequence, valid_until, blobs[3], blobs[4])
+        except IpnsError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any parse fault
+            raise IpnsError(f"undecodable IPNS record: {exc}") from exc
+
+
+def make_record(
+    keypair: KeyPair,
+    value: Cid,
+    sequence: int,
+    now: float,
+    validity_s: float = DEFAULT_VALIDITY_S,
+) -> IpnsRecord:
+    """Create and sign a record for ``keypair``'s name."""
+    if sequence < 0:
+        raise IpnsError(f"negative sequence: {sequence}")
+    valid_until = now + validity_s
+    signature = keypair.sign(_signable(value, sequence, valid_until))
+    return IpnsRecord(value, sequence, valid_until, keypair.public.to_bytes(), signature)
+
+
+def _signable(value: Cid, sequence: int, valid_until: float) -> bytes:
+    return b"ipns:" + value.encode_binary() + encode_varint(sequence) + _encode_float(valid_until)
+
+
+def _encode_float(value: float) -> bytes:
+    import struct
+
+    return struct.pack(">d", value)
+
+
+def _decode_float(raw: bytes) -> float:
+    import struct
+
+    if len(raw) != 8:
+        raise IpnsError("malformed validity field")
+    return struct.unpack(">d", raw)[0]

@@ -1,0 +1,39 @@
+"""Measurement infrastructure (Section 4).
+
+The paper enriches crawled peer data with three external databases —
+GeoLite2 (IP -> country), CAIDA AS Rank (IP -> AS -> rank), and Udger
+(cloud-provider IP ranges). We have no live databases offline, so
+:mod:`repro.workloads.population` *generates* synthetic registries
+alongside the peer population, and this package provides the lookup
+and aggregation pipeline the paper runs on top of them:
+
+- :mod:`repro.measurement.registries` — GeoIP / AS rank / cloud lookup.
+- :mod:`repro.measurement.analysis` — geographic, AS and cloud
+  aggregation (Figures 5-7, Tables 2-3).
+- :mod:`repro.measurement.churn_analysis` — session statistics with the
+  long-session bias handling of Section 5.3 (Figure 8).
+- :mod:`repro.measurement.stretch` — retrieval stretch (Figure 10).
+"""
+
+from repro.measurement.analysis import (
+    as_distribution,
+    cloud_distribution,
+    country_distribution,
+    peers_per_ip_cdf,
+)
+from repro.measurement.churn_analysis import churn_cdf_by_group, session_statistics
+from repro.measurement.registries import AsInfo, CloudRegistry, GeoIpRegistry
+from repro.measurement.stretch import retrieval_stretch
+
+__all__ = [
+    "AsInfo",
+    "CloudRegistry",
+    "GeoIpRegistry",
+    "as_distribution",
+    "churn_cdf_by_group",
+    "cloud_distribution",
+    "country_distribution",
+    "peers_per_ip_cdf",
+    "retrieval_stretch",
+    "session_statistics",
+]

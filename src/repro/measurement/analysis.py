@@ -1,0 +1,165 @@
+"""Aggregation pipeline for the deployment analysis (Section 5).
+
+These functions take observations (peer -> IPs mappings and per-peer
+uptime) plus the registries and produce exactly the quantities the
+paper plots:
+
+- :func:`country_distribution` — Figure 5/6 (share of peers/users per
+  country, counting multihomed peers once per country);
+- :func:`peers_per_ip_cdf` — Figure 7c;
+- :func:`as_distribution` — Figure 7d and Table 2;
+- :func:`cloud_distribution` — Table 3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.measurement.registries import CloudRegistry, GeoIpRegistry
+from repro.utils.stats import Cdf
+
+
+def country_distribution(
+    peer_ips: Mapping[object, Iterable[str]], geo: GeoIpRegistry
+) -> dict[str, float]:
+    """Share of peers per country (fractions summing to >= 1).
+
+    Figure 5 counts "multihoming" peers — peers advertising addresses
+    in several countries — once *per country*, so shares can sum to
+    slightly more than 1.
+    """
+    total = 0
+    counts: Counter[str] = Counter()
+    for _, ips in peer_ips.items():
+        countries = {geo.country(ip) for ip in ips}
+        countries.discard(None)
+        if not countries:
+            continue
+        total += 1
+        for country in countries:
+            counts[country] += 1
+    if total == 0:
+        return {}
+    return {country: count / total for country, count in counts.most_common()}
+
+
+def multihoming_share(
+    peer_ips: Mapping[object, Iterable[str]], geo: GeoIpRegistry
+) -> float:
+    """Fraction of peers whose addresses map to multiple countries
+    (the paper reports ~8.8 %)."""
+    total = 0
+    multi = 0
+    for _, ips in peer_ips.items():
+        countries = {geo.country(ip) for ip in ips} - {None}
+        if not countries:
+            continue
+        total += 1
+        if len(countries) > 1:
+            multi += 1
+    return multi / total if total else 0.0
+
+
+def peers_per_ip_cdf(peer_ips: Mapping[object, Iterable[str]]) -> Cdf:
+    """CDF of distinct PeerIDs per IP address (Figure 7c)."""
+    peers_on_ip: Counter[str] = Counter()
+    for _, ips in peer_ips.items():
+        for ip in set(ips):
+            peers_on_ip[ip] += 1
+    if not peers_on_ip:
+        raise ValueError("no observations")
+    return Cdf.from_samples(peers_on_ip.values())
+
+
+@dataclass(frozen=True)
+class AsShare:
+    """One row of Table 2."""
+
+    asn: int
+    rank: int
+    name: str
+    ip_count: int
+    share: float
+
+
+def as_distribution(
+    ips: Iterable[str], geo: GeoIpRegistry
+) -> list[AsShare]:
+    """IP counts per AS, sorted by descending share (Table 2 / Fig 7d)."""
+    counts: Counter[int] = Counter()
+    total = 0
+    for ip in ips:
+        asn = geo.asn(ip)
+        if asn is None:
+            continue
+        counts[asn] += 1
+        total += 1
+    rows = []
+    for asn, count in counts.most_common():
+        info = geo.as_info(asn)
+        rows.append(
+            AsShare(
+                asn=asn,
+                rank=info.rank if info else 0,
+                name=info.name if info else f"AS{asn}",
+                ip_count=count,
+                share=count / total if total else 0.0,
+            )
+        )
+    return rows
+
+
+def top_as_cumulative_share(rows: list[AsShare], top: int) -> float:
+    """Cumulative IP share of the ``top`` largest ASes (Section 5.2
+    reports 64.9 % for the top 10 and 90.6 % for the top 100)."""
+    return sum(row.share for row in rows[:top])
+
+
+@dataclass(frozen=True)
+class CloudShare:
+    """One row of Table 3."""
+
+    provider: str
+    ip_count: int
+    share: float
+
+
+def cloud_distribution(
+    ips: Iterable[str], clouds: CloudRegistry
+) -> tuple[list[CloudShare], CloudShare]:
+    """Cloud-provider IP shares plus the Non-Cloud remainder (Table 3)."""
+    counts: Counter[str] = Counter()
+    total = 0
+    non_cloud = 0
+    for ip in ips:
+        total += 1
+        provider = clouds.provider(ip)
+        if provider is None:
+            non_cloud += 1
+        else:
+            counts[provider] += 1
+    rows = [
+        CloudShare(provider, count, count / total if total else 0.0)
+        for provider, count in counts.most_common()
+    ]
+    remainder = CloudShare("Non-Cloud", non_cloud, non_cloud / total if total else 0.0)
+    return rows, remainder
+
+
+def reliability_split(
+    uptime_by_peer: Mapping[object, float],
+    reliable_threshold: float = 0.9,
+) -> tuple[set, set, set]:
+    """Partition peers into (reliable, intermittent, never-reachable)
+    by observed uptime fraction — Figures 7a/7b use the outer two."""
+    reliable, intermittent, never = set(), set(), set()
+    for peer, uptime in uptime_by_peer.items():
+        if uptime > reliable_threshold:
+            reliable.add(peer)
+        elif uptime <= 0.0:
+            never.add(peer)
+        else:
+            intermittent.add(peer)
+    return reliable, intermittent, never

@@ -1,0 +1,99 @@
+"""Churn analysis (Section 5.3, Figure 8).
+
+Session observations come from the adaptive uptime prober. Following
+the method the paper borrows from Saroiu et al. / Stutzbach & Rejaie
+for long-session handling, we only analyse sessions that *started
+inside the first half of the measurement window* — this removes the
+bias against long sessions (a session can only be observed in full if
+it begins early enough) — and truncate still-open sessions at the
+window end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.utils.stats import Cdf, percentile
+
+
+@dataclass(frozen=True)
+class SessionObservation:
+    """One observed online session of one peer."""
+
+    peer: object
+    group: str  # e.g. the peer's country
+    start: float
+    end: float  # truncated at the window end for still-open sessions
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+def filter_for_bias(
+    sessions: Iterable[SessionObservation],
+    window_start: float,
+    window_end: float,
+) -> list[SessionObservation]:
+    """Keep sessions starting in the first half of the window."""
+    midpoint = window_start + (window_end - window_start) / 2.0
+    return [s for s in sessions if window_start <= s.start <= midpoint]
+
+
+def churn_cdf_by_group(
+    sessions: Iterable[SessionObservation],
+    min_group_size: int = 20,
+) -> dict[str, Cdf]:
+    """Per-group CDFs of session length (the lines of Figure 8)."""
+    by_group: dict[str, list[float]] = {}
+    for session in sessions:
+        by_group.setdefault(session.group, []).append(session.length)
+    return {
+        group: Cdf.from_samples(lengths)
+        for group, lengths in by_group.items()
+        if len(lengths) >= min_group_size
+    }
+
+
+@dataclass(frozen=True)
+class ChurnSummary:
+    """The headline churn statistics of Section 5.3."""
+
+    session_count: int
+    median_s: float
+    under_8h_fraction: float
+    over_24h_fraction: float
+
+
+def session_statistics(sessions: Iterable[SessionObservation]) -> ChurnSummary:
+    """Aggregate statistics over all sessions (87.6 % < 8 h,
+    2.5 % > 24 h in the paper)."""
+    lengths = [s.length for s in sessions]
+    if not lengths:
+        raise ValueError("no session observations")
+    return ChurnSummary(
+        session_count=len(lengths),
+        median_s=percentile(lengths, 50),
+        under_8h_fraction=sum(1 for x in lengths if x < 8 * 3600) / len(lengths),
+        over_24h_fraction=sum(1 for x in lengths if x > 24 * 3600) / len(lengths),
+    )
+
+
+def uptime_fraction(
+    online_intervals: Mapping[object, list[tuple[float, float]]],
+    window_start: float,
+    window_end: float,
+) -> dict[object, float]:
+    """Observed online fraction per peer over the window (Fig 7a/7b)."""
+    window = window_end - window_start
+    if window <= 0:
+        raise ValueError("empty window")
+    fractions = {}
+    for peer, intervals in online_intervals.items():
+        online = sum(
+            max(0.0, min(end, window_end) - max(start, window_start))
+            for start, end in intervals
+        )
+        fractions[peer] = online / window
+    return fractions

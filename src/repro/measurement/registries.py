@@ -1,0 +1,77 @@
+"""Synthetic replacements for GeoLite2, CAIDA AS Rank and Udger.
+
+Each registry is an explicit lookup table built by the population
+generator, exposing the same queries the paper's pipeline makes:
+IP -> country, IP -> ASN, ASN -> (rank, name), IP -> cloud provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AsInfo:
+    """One Autonomous System: number, CAIDA-style rank, display name."""
+
+    asn: int
+    rank: int
+    name: str
+
+
+@dataclass
+class GeoIpRegistry:
+    """IP address -> (country, ASN), like GeoLite2 + an AS database."""
+
+    _country_by_ip: dict[str, str] = field(default_factory=dict)
+    _asn_by_ip: dict[str, int] = field(default_factory=dict)
+    _as_info: dict[int, AsInfo] = field(default_factory=dict)
+
+    def add_ip(self, ip: str, country: str, asn: int) -> None:
+        self._country_by_ip[ip] = country
+        self._asn_by_ip[ip] = asn
+
+    def add_as(self, info: AsInfo) -> None:
+        self._as_info[info.asn] = info
+
+    def country(self, ip: str) -> str | None:
+        return self._country_by_ip.get(ip)
+
+    def asn(self, ip: str) -> int | None:
+        return self._asn_by_ip.get(ip)
+
+    def as_info(self, asn: int) -> AsInfo | None:
+        return self._as_info.get(asn)
+
+    def known_ases(self) -> list[AsInfo]:
+        return sorted(self._as_info.values(), key=lambda info: info.rank)
+
+    def __len__(self) -> int:
+        return len(self._country_by_ip)
+
+
+@dataclass
+class CloudRegistry:
+    """IP address -> cloud provider name, like the Udger dataset.
+
+    ``providers`` preserves the curated-list ordering (Table 3 ranks
+    providers by IP count, which :func:`cloud_distribution` recomputes).
+    """
+
+    _provider_by_ip: dict[str, str] = field(default_factory=dict)
+    providers: list[str] = field(default_factory=list)
+
+    def add_provider(self, name: str) -> None:
+        if name not in self.providers:
+            self.providers.append(name)
+
+    def add_ip(self, ip: str, provider: str) -> None:
+        self.add_provider(provider)
+        self._provider_by_ip[ip] = provider
+
+    def provider(self, ip: str) -> str | None:
+        """The hosting cloud, or None for non-cloud addresses."""
+        return self._provider_by_ip.get(ip)
+
+    def is_cloud(self, ip: str) -> bool:
+        return ip in self._provider_by_ip

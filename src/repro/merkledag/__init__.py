@@ -1,0 +1,40 @@
+"""Merkle-DAG content structuring (Section 2.1 of the paper).
+
+Files added to IPFS are split into chunks (256 kB default), each chunk
+gets a CID, and a Merkle Directed Acyclic Graph is built whose root CID
+names the whole file. The DAG deduplicates identical chunks and is
+location-agnostic: it never changes when content is replicated or
+deleted elsewhere in the network.
+
+- :mod:`repro.merkledag.chunker` — fixed-size and content-defined
+  chunkers.
+- :mod:`repro.merkledag.dag` — DAG node structure + canonical encoding.
+- :mod:`repro.merkledag.builder` — balanced DAG construction.
+- :mod:`repro.merkledag.reader` — verified traversal and reassembly.
+- :mod:`repro.merkledag.unixfs` — file/directory semantics.
+"""
+
+from repro.merkledag.builder import DagBuilder, ImportResult
+from repro.merkledag.chunker import (
+    DEFAULT_CHUNK_SIZE,
+    chunk_fixed,
+    chunk_rabin,
+)
+from repro.blockstore.block import Block
+from repro.merkledag.dag import DagLink, DagNode
+from repro.merkledag.reader import DagReader
+from repro.merkledag.unixfs import Directory, UnixFsEntry
+
+__all__ = [
+    "Block",
+    "DEFAULT_CHUNK_SIZE",
+    "DagBuilder",
+    "DagLink",
+    "DagNode",
+    "DagReader",
+    "Directory",
+    "ImportResult",
+    "UnixFsEntry",
+    "chunk_fixed",
+    "chunk_rabin",
+]

@@ -1,0 +1,97 @@
+"""Balanced Merkle-DAG construction (the "import" step of Figure 3).
+
+``DagBuilder.add_bytes`` chunks content, stores each chunk as a raw-leaf
+block, and builds a balanced tree of DAG nodes over the chunk CIDs (the
+go-ipfs default layout with a fan-out of 174; we keep the fan-out
+configurable and default it lower so tests exercise multi-level trees
+without megabytes of data).
+
+Identical chunks are stored once: the blockstore keys on CID, so
+deduplication (Section 2.1) falls out of content addressing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.blockstore.memory import Blockstore
+from repro.merkledag.chunker import DEFAULT_CHUNK_SIZE, chunk_fixed
+from repro.blockstore.block import Block
+from repro.merkledag.dag import DagLink, DagNode
+from repro.multiformats.cid import Cid
+
+#: go-ipfs uses 174 links per internal node; see module docstring.
+DEFAULT_FANOUT = 174
+
+Chunker = Callable[[bytes], Iterator[bytes]]
+
+
+@dataclass(frozen=True)
+class ImportResult:
+    """Outcome of importing one piece of content.
+
+    ``root`` is the content's root CID (what gets published to the
+    DHT); ``block_count`` and ``new_blocks`` let callers observe
+    deduplication (new_blocks < block_count when chunks repeat).
+    """
+
+    root: Cid
+    size: int
+    block_count: int
+    new_blocks: int
+
+
+class DagBuilder:
+    """Imports byte content into a blockstore as a balanced Merkle-DAG."""
+
+    def __init__(
+        self,
+        blockstore: Blockstore,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        fanout: int = DEFAULT_FANOUT,
+        chunker: Chunker | None = None,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self._blockstore = blockstore
+        self._fanout = fanout
+        self._chunker = chunker or (lambda data: chunk_fixed(data, chunk_size))
+
+    def add_bytes(self, data: bytes) -> ImportResult:
+        """Chunk ``data``, store all blocks, and return the root CID.
+
+        A single-chunk file is stored as one raw leaf (its CID is the
+        root); larger files get internal dag-pb nodes, mirroring
+        go-ipfs behaviour.
+        """
+        stored = 0
+        new = 0
+
+        def put(block: Block) -> None:
+            nonlocal stored, new
+            stored += 1
+            if not self._blockstore.has(block.cid):
+                new += 1
+            self._blockstore.put(block)
+
+        leaves: list[DagLink] = []
+        for chunk in self._chunker(data):
+            block = Block.from_data(chunk)
+            put(block)
+            leaves.append(DagLink(block.cid, "", len(chunk)))
+
+        if len(leaves) == 1:
+            return ImportResult(leaves[0].cid, len(data), stored, new)
+
+        level = leaves
+        while len(level) > 1:
+            next_level: list[DagLink] = []
+            for start in range(0, len(level), self._fanout):
+                group = level[start : start + self._fanout]
+                node = DagNode(links=tuple(group))
+                block = Block(node.cid(), node.encode())
+                put(block)
+                next_level.append(DagLink(block.cid, "", node.total_size()))
+            level = next_level
+        return ImportResult(level[0].cid, len(data), stored, new)

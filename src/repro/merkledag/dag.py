@@ -1,0 +1,109 @@
+"""Merkle-DAG node structure and canonical binary encoding.
+
+A DAG node carries an ordered list of links (child CID + name + child
+subtree size) and an optional data payload, mirroring dag-pb. We use a
+simple deterministic length-prefixed encoding rather than protobuf (no
+dependency), but keep the same information content: two encodings of the
+same logical node are byte-identical, so the node's CID is well defined.
+
+A node may have multiple parents (Section 2.1), which is what enables
+chunk-level deduplication across files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DagError, DecodeError
+from repro.multiformats.cid import Cid, make_cid
+from repro.multiformats.multicodec import CODEC_DAG_PB
+from repro.utils.varint import encode_varint, read_varint
+
+_MAGIC = b"\xda\x60"  # frame marker for encoded nodes
+
+
+@dataclass(frozen=True)
+class DagLink:
+    """A named, sized edge to a child node.
+
+    ``size`` is the cumulative size in bytes of the subtree under the
+    child — used for file-offset seeking without fetching the subtree.
+    """
+
+    cid: Cid
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DagError(f"negative link size: {self.size}")
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """An immutable Merkle-DAG node: links plus an opaque data payload."""
+
+    links: tuple[DagLink, ...] = ()
+    data: bytes = b""
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.links
+
+    def total_size(self) -> int:
+        """Cumulative size of the content this subtree represents."""
+        return len(self.data) + sum(link.size for link in self.links)
+
+    def encode(self) -> bytes:
+        """Canonical binary form (the bytes that get hashed and stored)."""
+        out = bytearray(_MAGIC)
+        out += encode_varint(len(self.links))
+        for link in self.links:
+            cid_bytes = link.cid.encode_binary()
+            name_bytes = link.name.encode("utf-8")
+            out += encode_varint(len(cid_bytes))
+            out += cid_bytes
+            out += encode_varint(len(name_bytes))
+            out += name_bytes
+            out += encode_varint(link.size)
+        out += encode_varint(len(self.data))
+        out += self.data
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "DagNode":
+        """Parse the canonical binary form, validating framing."""
+        if raw[:2] != _MAGIC:
+            raise DagError("not an encoded DAG node (bad magic)")
+        try:
+            offset = 2
+            link_count, offset = read_varint(raw, offset)
+            links = []
+            for _ in range(link_count):
+                cid_len, offset = read_varint(raw, offset)
+                cid_bytes = raw[offset : offset + cid_len]
+                if len(cid_bytes) != cid_len:
+                    raise DagError("truncated link CID")
+                offset += cid_len
+                cid = Cid.decode_binary(cid_bytes)
+                name_len, offset = read_varint(raw, offset)
+                name_bytes = raw[offset : offset + name_len]
+                if len(name_bytes) != name_len:
+                    raise DagError("truncated link name")
+                offset += name_len
+                size, offset = read_varint(raw, offset)
+                links.append(DagLink(cid, name_bytes.decode("utf-8"), size))
+            data_len, offset = read_varint(raw, offset)
+            data = raw[offset : offset + data_len]
+            if len(data) != data_len:
+                raise DagError("truncated node data")
+            offset += data_len
+        except DecodeError as exc:
+            raise DagError(f"malformed DAG node: {exc}") from exc
+        if offset != len(raw):
+            raise DagError("trailing bytes after DAG node")
+        return cls(tuple(links), data)
+
+    def cid(self) -> Cid:
+        """The node's content identifier (hash of its canonical form)."""
+        return make_cid(self.encode(), codec=CODEC_DAG_PB)

@@ -1,0 +1,100 @@
+"""Verified Merkle-DAG traversal and content reassembly.
+
+The reader walks a DAG from its root CID, verifying every block against
+its CID (self-certification, Section 2.1) and re-concatenating leaf
+chunks into the original bytes. It also enumerates the CID set of a DAG,
+which the retrieval path uses to know which blocks to request over
+Bitswap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.blockstore.memory import Blockstore
+from repro.errors import BlockNotFoundError, DagError
+from repro.merkledag.dag import DagNode
+from repro.multiformats.cid import Cid
+from repro.multiformats.multicodec import CODEC_DAG_PB
+
+
+class DagReader:
+    """Reads content back out of a blockstore, verifying as it goes."""
+
+    def __init__(self, blockstore: Blockstore) -> None:
+        self._blockstore = blockstore
+
+    def _get_verified(self, cid: Cid) -> bytes:
+        block = self._blockstore.get(cid)  # raises BlockNotFoundError
+        if not block.verify():
+            raise DagError(f"block fails self-certification: {cid}")
+        return block.data
+
+    def cat(self, root: Cid) -> bytes:
+        """Reassemble the full content under ``root``.
+
+        Raises :class:`BlockNotFoundError` if any block is missing and
+        :class:`DagError` if any block fails verification or the DAG is
+        malformed (e.g. a cycle, which a correct Merkle structure cannot
+        contain but corrupted stores might present).
+        """
+        return b"".join(self.iter_chunks(root))
+
+    def iter_chunks(self, root: Cid) -> Iterator[bytes]:
+        """Yield leaf chunks left to right (streaming read)."""
+        seen_path: set[Cid] = set()
+
+        def walk(cid: Cid) -> Iterator[bytes]:
+            if cid in seen_path:
+                raise DagError(f"cycle detected at {cid}")
+            data = self._get_verified(cid)
+            if cid.codec != CODEC_DAG_PB:
+                yield data
+                return
+            node = DagNode.decode(data)
+            if node.is_leaf:
+                yield node.data
+                return
+            seen_path.add(cid)
+            for link in node.links:
+                yield from walk(link.cid)
+            seen_path.discard(cid)
+
+        yield from walk(root)
+
+    def all_cids(self, root: Cid) -> list[Cid]:
+        """Every CID reachable from ``root`` in traversal order.
+
+        Duplicated chunks appear once (the DAG deduplicates); the list
+        starts with ``root`` itself.
+        """
+        order: list[Cid] = []
+        seen: set[Cid] = set()
+
+        def walk(cid: Cid) -> None:
+            if cid in seen:
+                return
+            seen.add(cid)
+            order.append(cid)
+            data = self._get_verified(cid)
+            if cid.codec == CODEC_DAG_PB:
+                for link in DagNode.decode(data).links:
+                    walk(link.cid)
+
+        walk(root)
+        return order
+
+    def total_size(self, root: Cid) -> int:
+        """Content size under ``root`` without reading leaf data."""
+        data = self._get_verified(root)
+        if root.codec != CODEC_DAG_PB:
+            return len(data)
+        return DagNode.decode(data).total_size()
+
+    def has_complete_dag(self, root: Cid) -> bool:
+        """Whether every block of the DAG is locally present."""
+        try:
+            self.all_cids(root)
+        except BlockNotFoundError:
+            return False
+        return True

@@ -1,0 +1,107 @@
+"""UnixFS-style file and directory semantics over the Merkle-DAG.
+
+Directories are DAG nodes whose links are named child entries; a
+directory's CID therefore commits to its entire subtree, giving the
+immutable, self-certifying namespaces of Section 3.3 (until IPNS adds
+mutability on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockstore.memory import Blockstore
+from repro.errors import DagError
+from repro.merkledag.builder import DagBuilder
+from repro.blockstore.block import Block
+from repro.merkledag.dag import DagLink, DagNode
+from repro.merkledag.reader import DagReader
+from repro.multiformats.cid import Cid
+from repro.multiformats.multicodec import CODEC_DAG_PB
+
+_DIR_MARKER = b"unixfs:dir"
+
+
+@dataclass(frozen=True)
+class UnixFsEntry:
+    """One named entry of a directory listing."""
+
+    name: str
+    cid: Cid
+    size: int
+
+
+class Directory:
+    """Builds and reads immutable directories.
+
+    Usage::
+
+        d = Directory(blockstore)
+        root = d.build({'a.txt': cid_a, 'b.txt': cid_b})
+        d.list_entries(root)
+        d.resolve_path(root, 'a.txt')
+    """
+
+    def __init__(self, blockstore: Blockstore) -> None:
+        self._blockstore = blockstore
+        self._reader = DagReader(blockstore)
+
+    def build(self, entries: dict[str, Cid]) -> Cid:
+        """Store a directory node linking the given name -> CID map.
+
+        Entries are sorted by name so the directory CID is canonical
+        regardless of insertion order.
+        """
+        for name in entries:
+            if not name or "/" in name:
+                raise DagError(f"invalid directory entry name: {name!r}")
+        links = tuple(
+            DagLink(cid, name, self._subtree_size(cid))
+            for name, cid in sorted(entries.items())
+        )
+        node = DagNode(links=links, data=_DIR_MARKER)
+        block = Block(node.cid(), node.encode())
+        self._blockstore.put(block)
+        return block.cid
+
+    def _subtree_size(self, cid: Cid) -> int:
+        try:
+            return self._reader.total_size(cid)
+        except Exception:
+            # Size is advisory; a missing child still produces a valid
+            # directory (the link is fetched lazily on read).
+            return 0
+
+    def is_directory(self, cid: Cid) -> bool:
+        """Whether ``cid`` names a directory node we can read."""
+        if cid.codec != CODEC_DAG_PB:
+            return False
+        block = self._blockstore.get(cid)
+        return DagNode.decode(block.data).data == _DIR_MARKER
+
+    def list_entries(self, cid: Cid) -> list[UnixFsEntry]:
+        """The sorted entries of directory ``cid``."""
+        block = self._blockstore.get(cid)
+        node = DagNode.decode(block.data)
+        if node.data != _DIR_MARKER:
+            raise DagError(f"not a directory: {cid}")
+        return [UnixFsEntry(link.name, link.cid, link.size) for link in node.links]
+
+    def resolve_path(self, root: Cid, path: str) -> Cid:
+        """Resolve a slash-separated path under ``root`` to a CID.
+
+        This mirrors gateway path resolution
+        (``/ipfs/<root>/a/b/c.txt``).
+        """
+        current = root
+        for segment in [part for part in path.split("/") if part]:
+            entries = {entry.name: entry.cid for entry in self.list_entries(current)}
+            if segment not in entries:
+                raise DagError(f"path segment not found: {segment!r}")
+            current = entries[segment]
+        return current
+
+
+def import_file(blockstore: Blockstore, data: bytes, **builder_kwargs) -> Cid:
+    """Convenience: import bytes and return the root CID."""
+    return DagBuilder(blockstore, **builder_kwargs).add_bytes(data).root

@@ -1,0 +1,48 @@
+"""Self-describing data formats (Section 2 of the paper).
+
+IPFS builds its addressing primitives from the multiformats family:
+
+- :mod:`repro.multiformats.multibase` — self-describing base encodings
+  (the one-character prefix in Figure 1).
+- :mod:`repro.multiformats.multicodec` — the content-type table.
+- :mod:`repro.multiformats.multihash` — self-describing hash digests.
+- :mod:`repro.multiformats.cid` — Content Identifiers (CIDv0/CIDv1).
+- :mod:`repro.multiformats.multiaddr` — self-describing peer addresses
+  (Figure 2).
+- :mod:`repro.multiformats.peerid` — hashes of peer public keys.
+"""
+
+from repro.multiformats.cid import Cid, make_cid
+from repro.multiformats.multiaddr import Multiaddr, Protocol
+from repro.multiformats.multibase import (
+    multibase_decode,
+    multibase_encode,
+    multibase_encoding_name,
+)
+from repro.multiformats.multicodec import (
+    CODEC_DAG_PB,
+    CODEC_LIBP2P_KEY,
+    CODEC_RAW,
+    codec_code,
+    codec_name,
+)
+from repro.multiformats.multihash import Multihash, multihash_digest
+from repro.multiformats.peerid import PeerId
+
+__all__ = [
+    "CODEC_DAG_PB",
+    "CODEC_LIBP2P_KEY",
+    "CODEC_RAW",
+    "Cid",
+    "Multiaddr",
+    "Multihash",
+    "PeerId",
+    "Protocol",
+    "codec_code",
+    "codec_name",
+    "make_cid",
+    "multibase_decode",
+    "multibase_encode",
+    "multibase_encoding_name",
+    "multihash_digest",
+]

@@ -1,0 +1,131 @@
+"""Content Identifiers (CIDs) — Section 2.1 and Figure 1 of the paper.
+
+A CIDv1 is ``<multibase prefix><varint version><varint multicodec>
+<multihash>``; a CIDv0 is the bare base58btc multihash of a dag-pb node
+(legacy, always starts with ``Qm``). CIDs decouple names from locations:
+the same CID can be served by any peer, and any recipient can verify the
+bytes against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import CidError, DecodeError
+from repro.multiformats.multibase import multibase_decode, multibase_encode
+from repro.multiformats.multicodec import CODEC_DAG_PB, CODEC_RAW, codec_name
+from repro.multiformats.multihash import SHA2_256, Multihash, multihash_digest
+from repro.utils.varint import encode_varint, read_varint
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Cid:
+    """An immutable, self-certifying content identifier.
+
+    ``version`` is 0 or 1; ``codec`` a multicodec code; ``multihash``
+    the digest of the addressed bytes. CIDs are hashable and ordered by
+    their binary encoding, so they can key dicts and sort stably.
+    """
+
+    version: int
+    codec: int
+    multihash: Multihash
+
+    def __post_init__(self) -> None:
+        if self.version not in (0, 1):
+            raise CidError(f"unsupported CID version: {self.version}")
+        if self.version == 0 and self.codec != CODEC_DAG_PB:
+            raise CidError("CIDv0 requires the dag-pb codec")
+        if self.version == 0 and self.multihash.code != SHA2_256:
+            raise CidError("CIDv0 requires sha2-256")
+
+    @property
+    def codec_name(self) -> str:
+        """The codec's registered name (``raw``, ``dag-pb``, ...)."""
+        return codec_name(self.codec)
+
+    def encode_binary(self) -> bytes:
+        """Binary CID: the form hashed to produce the DHT key."""
+        if self.version == 0:
+            return self.multihash.encode()
+        return encode_varint(1) + encode_varint(self.codec) + self.multihash.encode()
+
+    def encode(self, encoding: str = "base32") -> str:
+        """Render the CID as a string.
+
+        CIDv0 renders as bare base58btc (``Qm...``); CIDv1 with a
+        multibase prefix (default base32, ``b...`` as in Figure 1).
+        """
+        if self.version == 0:
+            from repro.utils.baseenc import base58btc_encode
+
+            return base58btc_encode(self.multihash.encode())
+        return multibase_encode(self.encode_binary(), encoding)
+
+    @classmethod
+    def decode(cls, text: str) -> "Cid":
+        """Parse a CID string (v0 base58btc or multibase-prefixed v1)."""
+        if not text:
+            raise CidError("empty CID string")
+        if text.startswith("Qm") and len(text) == 46:
+            from repro.utils.baseenc import base58btc_decode
+
+            return cls(0, CODEC_DAG_PB, Multihash.decode(base58btc_decode(text)))
+        try:
+            raw = multibase_decode(text)
+        except DecodeError as exc:
+            raise CidError(f"undecodable CID: {exc}") from exc
+        return cls.decode_binary(raw)
+
+    @classmethod
+    def decode_binary(cls, raw: bytes) -> "Cid":
+        """Parse a binary CID (v0 bare multihash or v1 framed)."""
+        if len(raw) == 34 and raw[0] == SHA2_256 and raw[1] == 32:
+            return cls(0, CODEC_DAG_PB, Multihash.decode(raw))
+        try:
+            version, offset = read_varint(raw, 0)
+            if version != 1:
+                raise CidError(f"unsupported binary CID version: {version}")
+            codec, offset = read_varint(raw, offset)
+            mh, end = Multihash.read(raw, offset)
+        except DecodeError as exc:
+            raise CidError(f"malformed binary CID: {exc}") from exc
+        if end != len(raw):
+            raise CidError("trailing bytes after CID")
+        return cls(1, codec, mh)
+
+    def to_v1(self) -> "Cid":
+        """Upgrade a CIDv0 to its equivalent CIDv1 (same multihash)."""
+        if self.version == 1:
+            return self
+        return Cid(1, self.codec, self.multihash)
+
+    def verify(self, data: bytes) -> bool:
+        """Whether ``data`` is the content this CID names."""
+        return self.multihash.verify(data)
+
+    def __str__(self) -> str:
+        return self.encode()
+
+    def __repr__(self) -> str:
+        return f"Cid({self.encode()!r})"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Cid):
+            return NotImplemented
+        return self.encode_binary() < other.encode_binary()
+
+
+def make_cid(data: bytes, codec: int = CODEC_RAW, version: int = 1,
+             hash_function: str = "sha2-256") -> Cid:
+    """Hash ``data`` and build its CID.
+
+    This is the "allocate CID" step (1) of Figure 3: hash the chunk and
+    wrap the digest with codec metadata.
+
+    >>> make_cid(b'hello world').codec_name
+    'raw'
+    """
+    return Cid(version, codec, multihash_digest(data, hash_function))

@@ -1,0 +1,166 @@
+"""Multiaddresses — Section 2.2 and Figure 2 of the paper.
+
+A Multiaddress is a self-describing, hierarchically-separated sequence
+of protocol choices, e.g. ``/ip4/1.2.3.4/tcp/3333/p2p/Qm...``. The format
+lets a node know whether it can speak to a remote peer before dialing,
+and supports relay composition by prefixing (``.../p2p-circuit/...``).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import MultiaddrError
+
+
+class Protocol(str, Enum):
+    """Protocols representable in our Multiaddress dialect.
+
+    Mirrors the subset observed on the live network: IPv4/IPv6 + DNS
+    names at the network layer, TCP/UDP/QUIC/WebSocket transports, and
+    ``p2p`` (PeerID) plus ``p2p-circuit`` (relay) at the application
+    layer.
+    """
+
+    IP4 = "ip4"
+    IP6 = "ip6"
+    DNS4 = "dns4"
+    DNS6 = "dns6"
+    TCP = "tcp"
+    UDP = "udp"
+    QUIC = "quic"
+    WS = "ws"
+    WSS = "wss"
+    P2P = "p2p"
+    P2P_CIRCUIT = "p2p-circuit"
+
+
+#: Protocols that carry no value component.
+_VALUELESS = {Protocol.QUIC, Protocol.WS, Protocol.WSS, Protocol.P2P_CIRCUIT}
+
+#: Protocols whose value must be a valid port number.
+_PORT = {Protocol.TCP, Protocol.UDP}
+
+
+@dataclass(frozen=True)
+class Multiaddr:
+    """An immutable parsed Multiaddress.
+
+    ``components`` is a tuple of ``(protocol, value)`` pairs where
+    ``value`` is ``""`` for valueless protocols like ``quic``.
+    """
+
+    components: tuple[tuple[Protocol, str], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "Multiaddr":
+        """Parse the slash-separated textual form.
+
+        >>> ma = Multiaddr.parse('/ip4/1.2.3.4/tcp/3333')
+        >>> ma.transport()
+        <Protocol.TCP: 'tcp'>
+        """
+        if not text.startswith("/"):
+            raise MultiaddrError(f"multiaddr must start with '/': {text!r}")
+        parts = text.split("/")[1:]
+        if parts and parts[-1] == "":
+            raise MultiaddrError("trailing slash in multiaddr")
+        components: list[tuple[Protocol, str]] = []
+        index = 0
+        while index < len(parts):
+            try:
+                protocol = Protocol(parts[index])
+            except ValueError:
+                raise MultiaddrError(f"unknown protocol: {parts[index]!r}") from None
+            index += 1
+            if protocol in _VALUELESS:
+                components.append((protocol, ""))
+                continue
+            if index >= len(parts):
+                raise MultiaddrError(f"protocol {protocol.value} requires a value")
+            value = parts[index]
+            index += 1
+            _validate(protocol, value)
+            components.append((protocol, value))
+        if not components:
+            raise MultiaddrError("empty multiaddr")
+        return cls(tuple(components))
+
+    @classmethod
+    def build(cls, *components: tuple[Protocol, str]) -> "Multiaddr":
+        """Construct from already-validated components."""
+        for protocol, value in components:
+            if protocol not in _VALUELESS:
+                _validate(protocol, value)
+        return cls(tuple(components))
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for protocol, value in self.components:
+            parts.append(protocol.value)
+            if value:
+                parts.append(value)
+        return "/" + "/".join(parts)
+
+    def value_for(self, protocol: Protocol) -> str | None:
+        """First value for ``protocol``, or None if absent."""
+        for proto, value in self.components:
+            if proto == protocol:
+                return value
+        return None
+
+    def ip_address(self) -> str | None:
+        """The IPv4/IPv6 literal, if this address carries one."""
+        return self.value_for(Protocol.IP4) or self.value_for(Protocol.IP6)
+
+    def transport(self) -> Protocol | None:
+        """The highest-priority transport protocol present.
+
+        QUIC runs over UDP, so ``/udp/4001/quic`` reports QUIC; a
+        trailing ``ws``/``wss`` over TCP reports the websocket.
+        """
+        protocols = {proto for proto, _ in self.components}
+        for candidate in (Protocol.WSS, Protocol.WS, Protocol.QUIC, Protocol.TCP, Protocol.UDP):
+            if candidate in protocols:
+                return candidate
+        return None
+
+    def peer_id_str(self) -> str | None:
+        """The ``p2p`` component (base58 PeerID string), if present."""
+        return self.value_for(Protocol.P2P)
+
+    def is_relayed(self) -> bool:
+        """Whether this address routes through a relay (p2p-circuit)."""
+        return any(proto == Protocol.P2P_CIRCUIT for proto, _ in self.components)
+
+    def with_peer_id(self, peer_id_text: str) -> "Multiaddr":
+        """Return a copy with a trailing ``/p2p/<PeerID>`` component."""
+        if self.peer_id_str() is not None:
+            raise MultiaddrError("multiaddr already carries a p2p component")
+        return Multiaddr(self.components + ((Protocol.P2P, peer_id_text),))
+
+
+def _validate(protocol: Protocol, value: str) -> None:
+    if protocol == Protocol.IP4:
+        try:
+            if not isinstance(ipaddress.ip_address(value), ipaddress.IPv4Address):
+                raise ValueError
+        except ValueError:
+            raise MultiaddrError(f"invalid IPv4 address: {value!r}") from None
+    elif protocol == Protocol.IP6:
+        try:
+            if not isinstance(ipaddress.ip_address(value), ipaddress.IPv6Address):
+                raise ValueError
+        except ValueError:
+            raise MultiaddrError(f"invalid IPv6 address: {value!r}") from None
+    elif protocol in _PORT:
+        if not value.isdigit() or not 0 <= int(value) <= 65535:
+            raise MultiaddrError(f"invalid port: {value!r}")
+    elif protocol in (Protocol.DNS4, Protocol.DNS6):
+        if not value or "/" in value:
+            raise MultiaddrError(f"invalid DNS name: {value!r}")
+    elif protocol == Protocol.P2P:
+        if not value:
+            raise MultiaddrError("empty p2p PeerID")

@@ -1,0 +1,76 @@
+"""Multibase: self-describing base encodings.
+
+A multibase string is a single-character prefix naming the encoding,
+followed by the payload in that encoding. Figure 1 of the paper shows
+the ``b`` (base32) prefix that CIDv1 strings carry by default.
+
+The table below covers the encodings IPFS tooling emits; the full
+multibase table has 24 entries, of which these are the ones observed in
+the wild (hex, base32, base36 for subdomain gateways, base58btc for
+legacy CIDs and PeerIDs, base64 variants for inline data).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import DecodeError
+from repro.utils import baseenc
+
+_Encoder = Callable[[bytes], str]
+_Decoder = Callable[[str], bytes]
+
+#: encoding name -> (prefix character, encoder, decoder)
+_ENCODINGS: dict[str, tuple[str, _Encoder, _Decoder]] = {
+    "base16": ("f", baseenc.base16_encode, baseenc.base16_decode),
+    "base32": ("b", baseenc.base32_encode, baseenc.base32_decode),
+    "base36": ("k", baseenc.base36_encode, baseenc.base36_decode),
+    "base58btc": ("z", baseenc.base58btc_encode, baseenc.base58btc_decode),
+    "base64": ("m", baseenc.base64_encode, baseenc.base64_decode),
+    "base64url": ("u", baseenc.base64url_encode, baseenc.base64url_decode),
+}
+
+_BY_PREFIX = {prefix: (name, enc, dec) for name, (prefix, enc, dec) in _ENCODINGS.items()}
+
+
+def multibase_encode(data: bytes, encoding: str = "base32") -> str:
+    """Encode ``data`` with a multibase prefix.
+
+    >>> multibase_encode(b"hi", "base16")
+    'f6869'
+    """
+    try:
+        prefix, encoder, _ = _ENCODINGS[encoding]
+    except KeyError:
+        raise DecodeError(f"unknown multibase encoding: {encoding}") from None
+    return prefix + encoder(data)
+
+
+def multibase_decode(text: str) -> bytes:
+    """Decode a multibase string to raw bytes.
+
+    >>> multibase_decode('f6869')
+    b'hi'
+    """
+    if not text:
+        raise DecodeError("empty multibase string")
+    try:
+        _, _, decoder = _BY_PREFIX[text[0]]
+    except KeyError:
+        raise DecodeError(f"unknown multibase prefix: {text[0]!r}") from None
+    return decoder(text[1:])
+
+
+def multibase_encoding_name(text: str) -> str:
+    """Return the encoding name indicated by a multibase string's prefix."""
+    if not text:
+        raise DecodeError("empty multibase string")
+    try:
+        return _BY_PREFIX[text[0]][0]
+    except KeyError:
+        raise DecodeError(f"unknown multibase prefix: {text[0]!r}") from None
+
+
+def supported_encodings() -> tuple[str, ...]:
+    """Names of the encodings this implementation supports."""
+    return tuple(_ENCODINGS)

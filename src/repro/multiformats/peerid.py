@@ -1,0 +1,74 @@
+"""PeerIDs — Section 2.2 of the paper.
+
+Every peer is identified by the multihash of its public key. The PeerID
+is stable across sessions (unless the operator rotates keys) and is used
+both to verify secure-channel handshakes and as the peer's coordinate in
+the DHT keyspace (via SHA-256 of the PeerID bytes, see Section 2.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import DecodeError
+from repro.multiformats.multihash import Multihash, multihash_digest
+from repro.utils.baseenc import base58btc_decode, base58btc_encode
+
+
+@total_ordering
+@dataclass(frozen=True)
+class PeerId:
+    """The hash of a peer's public key, rendered as base58btc.
+
+    Equality, ordering, and hashing all operate on the underlying
+    multihash bytes so PeerIds can key routing tables and address books.
+    """
+
+    multihash: Multihash
+
+    @classmethod
+    def from_public_key(cls, public_key_bytes: bytes) -> "PeerId":
+        """Derive the PeerID for a serialized public key."""
+        return cls(multihash_digest(public_key_bytes))
+
+    @classmethod
+    def decode(cls, text: str) -> "PeerId":
+        """Parse the base58btc textual form (``Qm...`` / ``12D3...``)."""
+        try:
+            return cls(Multihash.decode(base58btc_decode(text)))
+        except DecodeError as exc:
+            raise DecodeError(f"invalid PeerID {text!r}: {exc}") from exc
+
+    def encode(self) -> str:
+        """Base58btc textual form."""
+        return base58btc_encode(self.multihash.encode())
+
+    def to_bytes(self) -> bytes:
+        """Binary multihash form (what gets hashed into the DHT key)."""
+        return self.multihash.encode()
+
+    def dht_key(self) -> bytes:
+        """SHA-256 of the binary PeerID: the peer's DHT coordinate.
+
+        Section 2.3: "CIDs and PeerIDs reside in a common 256-bit key
+        space by using the SHA256 hashes of their binary
+        representations as indexing keys."
+        """
+        return hashlib.sha256(self.to_bytes()).digest()
+
+    def matches_public_key(self, public_key_bytes: bytes) -> bool:
+        """Verify a handshake public key against this PeerID."""
+        return self.multihash.verify(public_key_bytes)
+
+    def __str__(self) -> str:
+        return self.encode()
+
+    def __repr__(self) -> str:
+        return f"PeerId({self.encode()!r})"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, PeerId):
+            return NotImplemented
+        return self.to_bytes() < other.to_bytes()

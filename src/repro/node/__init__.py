@@ -1,0 +1,18 @@
+"""The IPFS node: the library's primary public API.
+
+:class:`~repro.node.host.IpfsNode` composes every substrate — Merkle-DAG
+import, blockstore with pinning, the Kademlia DHT, Bitswap, IPNS and the
+address book — into the publication and retrieval flows of Figure 3.
+"""
+
+from repro.node.addressbook import AddressBook
+from repro.node.config import NodeConfig
+from repro.node.host import IpfsNode, PublishReceipt, RetrievalReceipt
+
+__all__ = [
+    "AddressBook",
+    "IpfsNode",
+    "NodeConfig",
+    "PublishReceipt",
+    "RetrievalReceipt",
+]

@@ -1,0 +1,62 @@
+"""The address book (Section 3.2, "Peer Discovery").
+
+"Each IPFS node maintains an address book of up to 900 recently seen
+peers. Nodes check whether they already have an address for the PeerID
+they have discovered before performing any further lookups." — a hit
+here skips the second DHT walk of the retrieval path entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+
+#: The go-ipfs address book bound from the paper.
+ADDRESS_BOOK_CAPACITY = 900
+
+
+class AddressBook:
+    """An LRU map of recently seen PeerID -> Multiaddresses."""
+
+    def __init__(self, capacity: int = ADDRESS_BOOK_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[PeerId, tuple[Multiaddr, ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, peer_id: PeerId) -> bool:
+        return peer_id in self._entries
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of peers the book retains."""
+        return self._capacity
+
+    def record(self, peer_id: PeerId, addresses: tuple[Multiaddr, ...]) -> None:
+        """Remember (or refresh) a peer's addresses."""
+        if peer_id in self._entries:
+            self._entries.move_to_end(peer_id)
+        self._entries[peer_id] = addresses
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, peer_id: PeerId) -> tuple[Multiaddr, ...] | None:
+        """Addresses for ``peer_id``, refreshing recency on a hit."""
+        addresses = self._entries.get(peer_id)
+        if addresses is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(peer_id)
+        self.hits += 1
+        return addresses
+
+    def forget(self, peer_id: PeerId) -> None:
+        """Drop a peer's addresses (idempotent)."""
+        self._entries.pop(peer_id, None)

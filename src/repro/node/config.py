@@ -1,0 +1,38 @@
+"""Node configuration: every paper-specified default in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitswap.messages import BITSWAP_TIMEOUT_S
+from repro.dht.lookup import LookupConfig
+from repro.dht.records import EXPIRY_INTERVAL_S, REPUBLISH_INTERVAL_S
+from repro.merkledag.chunker import DEFAULT_CHUNK_SIZE
+from repro.node.addressbook import ADDRESS_BOOK_CAPACITY
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Tunables of an :class:`~repro.node.host.IpfsNode`.
+
+    Defaults reproduce go-ipfs v0.10 as described in the paper:
+    256 kB chunks, k = 20 replication, α = 3 lookups, 1 s Bitswap
+    window, 12 h republish / 24 h expiry, 900-entry address book.
+    """
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    dag_fanout: int = 174
+    bitswap_timeout_s: float = BITSWAP_TIMEOUT_S
+    republish_interval_s: float = REPUBLISH_INTERVAL_S
+    expiry_interval_s: float = EXPIRY_INTERVAL_S
+    address_book_capacity: int = ADDRESS_BOOK_CAPACITY
+    lookup: LookupConfig = field(default_factory=LookupConfig)
+    #: Run DHT lookups in parallel with the Bitswap window instead of
+    #: after it — the optimization Section 6.2 proposes as future work
+    #: ("running DHT lookups in parallel to Bitswap could be superior").
+    parallel_discovery: bool = False
+    #: Use provider addresses attached to GET_PROVIDERS responses to
+    #: skip the peer-discovery walk. Newer go-ipfs releases do this;
+    #: the v0.10 build the paper measures performs the second walk
+    #: (Figure 9e), so the default is off.
+    provider_addr_hints: bool = False

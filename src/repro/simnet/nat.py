@@ -1,0 +1,50 @@
+"""NAT reachability and the AutoNAT protocol (Section 2.3).
+
+New peers join the DHT as *clients* by default and ask already-connected
+peers to dial back. If more than :data:`AUTONAT_THRESHOLD` peers can
+connect back, the peer upgrades itself to a *DHT server*; otherwise it
+stays a client (it is behind a NAT and would pollute routing tables
+with unreachable entries — the pre-v0.5 behaviour whose removal the
+paper credits with a significant performance boost, Section 6.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.multiformats.peerid import PeerId
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import all_of
+
+#: "If more than three peers can connect to the newly joining peer,
+#: then the new peer upgrades its participation to act as a server."
+AUTONAT_THRESHOLD = 3
+
+#: How many dial-back probes to request.
+AUTONAT_PROBES = 8
+
+
+def autonat_check(
+    network: SimNetwork, host: SimHost, candidate_peers: list[PeerId]
+) -> Generator:
+    """Run AutoNAT dial-back probes; returns True if publicly reachable.
+
+    A process (``yield from``-able): asks up to :data:`AUTONAT_PROBES`
+    of the candidate peers to dial back, counts successes, and compares
+    against the threshold.
+    """
+    probes = []
+    for peer_id in candidate_peers[:AUTONAT_PROBES]:
+        remote = network.host(peer_id)
+        if remote is None or not remote.online:
+            continue
+        probes.append(network.dial(remote, host.peer_id))
+    if not probes:
+        return False
+    results = yield all_of(probes)
+    successes = sum(1 for result in results if not isinstance(result, BaseException))
+    # Dial-backs opened reverse connections purely for probing; close them.
+    for result in results:
+        if not isinstance(result, BaseException):
+            network.disconnect(network.hosts[result.local], host.peer_id)
+    return successes > AUTONAT_THRESHOLD

@@ -1,0 +1,378 @@
+"""Hosts, connections, and RPC delivery.
+
+A :class:`SimHost` is one network endpoint: it has a PeerID, a region,
+a quality class, a set of supported transports, NAT status, and an
+online flag driven by the churn process. A :class:`SimNetwork` routes
+dials and RPCs between hosts, applying the latency, handshake, timeout
+and bandwidth models.
+
+Failure semantics (what makes the simulation faithful):
+
+- dialing an offline or NAT'ed peer blocks for the transport's dial
+  timeout and then fails (the 5 s / 45 s spikes of Figure 9c);
+- an RPC to a peer that goes offline in flight never completes —
+  callers must protect themselves with ``with_timeout`` exactly as the
+  real implementation does;
+- block transfers pay size/bandwidth in addition to propagation delay.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DialError, SimulationError, TransportTimeoutError
+from repro.multiformats.peerid import PeerId
+from repro.simnet.latency import LatencyModel, PeerClass, Region
+from repro.simnet.sim import Future, Simulator
+from repro.simnet.transport import (
+    Transport,
+    dial_timeout,
+    handshake_time,
+    pick_transport,
+)
+
+#: (sender PeerId, payload) -> (response payload, response size bytes)
+RpcHandler = Callable[[PeerId, Any], tuple[Any, int]]
+
+_DEFAULT_TRANSPORTS = frozenset({Transport.TCP, Transport.QUIC})
+
+
+@dataclass
+class Connection:
+    """An established transport connection between two peers.
+
+    ``relay`` is set for circuit-switched connections (see
+    :mod:`repro.simnet.relay`): traffic then pays both hops.
+    """
+
+    local: PeerId
+    remote: PeerId
+    transport: Transport
+    rtt_s: float
+    opened_at: float
+    closed: bool = False
+    relay: PeerId | None = None
+
+
+@dataclass
+class NetworkStats:
+    """Counters a network accumulates (used by experiment reports)."""
+
+    dials_attempted: int = 0
+    dials_succeeded: int = 0
+    dials_failed: int = 0
+    rpcs_sent: int = 0
+    rpcs_completed: int = 0
+    bytes_transferred: int = 0
+
+
+class SimHost:
+    """One simulated endpoint.
+
+    Protocol layers (DHT, Bitswap) attach RPC handlers with
+    :meth:`register_handler` and use the network's ``dial``/``rpc``.
+    """
+
+    def __init__(
+        self,
+        peer_id: PeerId,
+        region: Region = Region.EU,
+        peer_class: PeerClass = PeerClass.DATACENTER,
+        transports: frozenset[Transport] = _DEFAULT_TRANSPORTS,
+        nat_private: bool = False,
+        online: bool = True,
+    ) -> None:
+        self.peer_id = peer_id
+        self.region = region
+        self.peer_class = peer_class
+        self.transports = transports
+        self.nat_private = nat_private
+        self.online = online
+        self.network: SimNetwork | None = None
+        self.connections: dict[PeerId, Connection] = {}
+        #: access-link serialization: times until which this host's
+        #: uplink / downlink are busy with earlier transfers. Parallel
+        #: block fetches share the link instead of each enjoying the
+        #: full bandwidth.
+        self.tx_free_at = 0.0
+        self.rx_free_at = 0.0
+        self._handlers: dict[str, RpcHandler] = {}
+        #: observers notified when a connection opens (AutoNAT, metrics)
+        self.on_connection: list[Callable[[Connection], None]] = []
+        #: observers notified when this host goes offline/online
+        self.on_status_change: list[Callable[[bool], None]] = []
+
+    # -- protocol plumbing ------------------------------------------------
+
+    def register_handler(self, method: str, handler: RpcHandler) -> None:
+        if method in self._handlers:
+            raise SimulationError(f"duplicate handler for {method!r}")
+        self._handlers[method] = handler
+
+    def handler_for(self, method: str) -> RpcHandler:
+        try:
+            return self._handlers[method]
+        except KeyError:
+            raise SimulationError(
+                f"{self.peer_id} has no handler for {method!r}"
+            ) from None
+
+    @property
+    def reachable(self) -> bool:
+        """Whether inbound dials can reach this host right now."""
+        return self.online and not self.nat_private
+
+    def connected_peers(self) -> list[PeerId]:
+        """Peers with a live connection (Bitswap's opportunistic set)."""
+        return [pid for pid, conn in self.connections.items() if not conn.closed]
+
+    def is_connected(self, peer_id: PeerId) -> bool:
+        conn = self.connections.get(peer_id)
+        return conn is not None and not conn.closed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def set_online(self, online: bool) -> None:
+        """Go online/offline; going offline drops all connections."""
+        if online == self.online:
+            return
+        self.online = online
+        if not online and self.network is not None:
+            for remote in list(self.connections):
+                self.network.disconnect(self, remote)
+        for observer in self.on_status_change:
+            observer(online)
+
+
+class SimNetwork:
+    """Routes dials and RPCs between registered hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.latency = latency if latency is not None else LatencyModel()
+        self.hosts: dict[PeerId, SimHost] = {}
+        self.stats = NetworkStats()
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, host: SimHost) -> None:
+        if host.peer_id in self.hosts:
+            raise SimulationError(f"duplicate host registration: {host.peer_id}")
+        host.network = self
+        self.hosts[host.peer_id] = host
+
+    def host(self, peer_id: PeerId) -> SimHost | None:
+        return self.hosts.get(peer_id)
+
+    # -- dialing -------------------------------------------------------------
+
+    def dial(self, src: SimHost, target_id: PeerId) -> Future:
+        """Establish a connection; resolves to a :class:`Connection`.
+
+        Reuses an existing live connection immediately. Fails with
+        :class:`TransportTimeoutError` after the transport's dial
+        timeout when the target is offline, NAT'ed, or unknown, and
+        with :class:`DialError` when no transport is shared.
+        """
+        if not src.online:
+            return Future.failed_with(DialError("dialer is offline"))
+        existing = src.connections.get(target_id)
+        if existing is not None and not existing.closed:
+            return Future.resolved(existing)
+
+        self.stats.dials_attempted += 1
+        future: Future = Future()
+        target = self.hosts.get(target_id)
+
+        listener_transports = (
+            target.transports if target is not None else _DEFAULT_TRANSPORTS
+        )
+        transport = pick_transport(src.transports, listener_transports, self.rng)
+        if transport is None:
+            self.stats.dials_failed += 1
+            return Future.failed_with(DialError("no shared transport"))
+
+        refused = (
+            target is not None
+            and target.reachable
+            and self.rng.random()
+            >= self.latency.class_profile(target.peer_class).accept_probability
+        )
+        if target is None or not target.reachable or refused:
+            timeout = dial_timeout(transport)
+
+            def fail() -> None:
+                self.stats.dials_failed += 1
+                future.fail(
+                    TransportTimeoutError(
+                        f"dial to {target_id} timed out after {timeout}s ({transport.value})"
+                    )
+                )
+
+            self.sim.schedule(timeout, fail)
+            return future
+
+        rtt = 2 * self.latency.one_way(
+            src.region, src.peer_class, target.region, target.peer_class, self.rng
+        )
+        delay = handshake_time(transport, rtt)
+
+        def establish() -> None:
+            # The target may have churned offline during the handshake.
+            if not src.online or not target.reachable:
+                self.stats.dials_failed += 1
+                future.fail(DialError(f"{target_id} went away during handshake"))
+                return
+            conn = Connection(src.peer_id, target_id, transport, rtt, self.sim.now)
+            src.connections[target_id] = conn
+            back = Connection(target_id, src.peer_id, transport, rtt, self.sim.now)
+            target.connections[src.peer_id] = back
+            self.stats.dials_succeeded += 1
+            for observer in src.on_connection:
+                observer(conn)
+            for observer in target.on_connection:
+                observer(back)
+            future.resolve(conn)
+
+        self.sim.schedule(delay, establish)
+        return future
+
+    def disconnect(self, src: SimHost, target_id: PeerId) -> None:
+        """Tear down the connection in both directions (if present)."""
+        conn = src.connections.pop(target_id, None)
+        if conn is not None:
+            conn.closed = True
+        target = self.hosts.get(target_id)
+        if target is not None:
+            back = target.connections.pop(src.peer_id, None)
+            if back is not None:
+                back.closed = True
+
+    # -- RPC -------------------------------------------------------------------
+
+    def rpc(
+        self,
+        src: SimHost,
+        target_id: PeerId,
+        method: str,
+        payload: Any,
+        request_size: int = 256,
+        auto_dial: bool = True,
+    ) -> Future:
+        """Send a request and resolve with the handler's response.
+
+        Dials first when not connected (``auto_dial``). The response
+        future *never settles* if the target churns offline mid-flight;
+        protocol code wraps calls in ``with_timeout`` as go-ipfs does.
+        """
+        future: Future = Future()
+
+        def on_dialed(dial_future: Future) -> None:
+            if dial_future.failed:
+                future.fail(dial_future.exception())  # type: ignore[arg-type]
+                return
+            self._send_request(src, target_id, method, payload, request_size, future)
+
+        if src.is_connected(target_id):
+            self._send_request(src, target_id, method, payload, request_size, future)
+        elif auto_dial:
+            self.dial(src, target_id).add_callback(on_dialed)
+        else:
+            future.fail(DialError(f"not connected to {target_id}"))
+        return future
+
+    def _one_way_between(self, src: SimHost, dst: SimHost) -> float:
+        """One-way latency, honouring circuit relays: a relayed
+        connection pays src->relay plus relay->dst."""
+        connection = src.connections.get(dst.peer_id)
+        if connection is not None and not connection.closed and connection.relay:
+            relay = self.hosts.get(connection.relay)
+            if relay is not None:
+                return self.latency.one_way(
+                    src.region, src.peer_class, relay.region, relay.peer_class,
+                    self.rng,
+                ) + self.latency.one_way(
+                    relay.region, relay.peer_class, dst.region, dst.peer_class,
+                    self.rng,
+                )
+        return self.latency.one_way(
+            src.region, src.peer_class, dst.region, dst.peer_class, self.rng
+        )
+
+    def _occupy_link(self, sender: SimHost, receiver: SimHost, size: int) -> float:
+        """Queueing delay + transmission time for one transfer.
+
+        Serializes transfers on the sender's uplink and the receiver's
+        downlink: concurrent block fetches from one peer share its
+        bandwidth rather than each getting the full rate.
+        """
+        now = self.sim.now
+        transmission = self.latency.transfer_time(
+            size, sender.peer_class, receiver.peer_class, self.rng
+        )
+        start = max(now, sender.tx_free_at, receiver.rx_free_at)
+        finish = start + transmission
+        sender.tx_free_at = finish
+        receiver.rx_free_at = finish
+        return finish - now
+
+    def _send_request(
+        self,
+        src: SimHost,
+        target_id: PeerId,
+        method: str,
+        payload: Any,
+        request_size: int,
+        future: Future,
+    ) -> None:
+        target = self.hosts.get(target_id)
+        if target is None:
+            future.fail(DialError(f"unknown peer {target_id}"))
+            return
+        self.stats.rpcs_sent += 1
+        upstream = self._one_way_between(src, target) + self._occupy_link(
+            src, target, request_size
+        )
+
+        def deliver() -> None:
+            if not target.online:
+                return  # request lost; caller's timeout handles it
+            processing = self.latency.processing_delay(target.peer_class, self.rng)
+
+            def respond() -> None:
+                if not target.online:
+                    return
+                try:
+                    response, response_size = target.handler_for(method)(
+                        src.peer_id, payload
+                    )
+                except SimulationError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - remote handler fault
+                    future.fail(exc)
+                    return
+                downstream = self._one_way_between(target, src) + self._occupy_link(
+                    target, src, response_size
+                )
+                self.stats.bytes_transferred += request_size + response_size
+
+                def complete() -> None:
+                    if not src.online:
+                        return
+                    self.stats.rpcs_completed += 1
+                    future.resolve(response)
+
+                self.sim.schedule(downstream, complete)
+
+            self.sim.schedule(processing, respond)
+
+        self.sim.schedule(upstream, deliver)

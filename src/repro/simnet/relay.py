@@ -1,0 +1,227 @@
+"""Circuit relaying and DCUtR hole punching.
+
+Two mechanisms the paper mentions but could not yet rely on:
+
+- **p2p-circuit relaying** (Section 2.2): a publicly reachable peer
+  forwards traffic to a NAT'ed peer that holds a *reservation* with
+  it. Multiaddresses compose as
+  ``/ip4/../p2p/<relay>/p2p-circuit/p2p/<target>``.
+- **Direct Connection Upgrade through Relay** (DCUtR, Section 3.1:
+  "a NAT hole-punching solution is currently being developed ... still
+  under-test"): once two peers share a relayed connection, they attempt
+  a simultaneous open to punch through their NATs and upgrade to a
+  direct connection.
+
+Relayed traffic pays both hops' latency and shares the relay's
+bandwidth; hole punching succeeds with a probability depending on the
+NAT type (cone NATs punch easily, symmetric ones rarely — the ~70 %
+aggregate success rate reported for DCUtR in the wild).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import DialError
+from repro.multiformats.peerid import PeerId
+from repro.simnet.network import Connection, SimHost, SimNetwork
+from repro.simnet.sim import Future
+from repro.simnet.transport import Transport
+
+#: Aggregate DCUtR success probabilities by NAT type.
+PUNCH_SUCCESS = {"cone": 0.85, "symmetric": 0.15}
+
+#: Public (non-NAT'ed) endpoints always "punch" trivially.
+_PUBLIC = "public"
+
+
+class NatType(str, Enum):
+    CONE = "cone"
+    SYMMETRIC = "symmetric"
+
+
+@dataclass
+class RelayService:
+    """Relay capability for one public host.
+
+    NAT'ed peers call :meth:`reserve`; the registry of reservations is
+    what lets :class:`CircuitDialer` route around NATs.
+    """
+
+    host: SimHost
+    capacity: int = 128
+    reservations: dict[PeerId, float] = field(default_factory=dict)
+    bytes_relayed: int = 0
+
+    def reserve(self, peer: SimHost, now: float) -> bool:
+        """Grant (or refresh) a reservation; False when full/offline."""
+        if not self.host.reachable:
+            return False
+        if peer.peer_id not in self.reservations and (
+            len(self.reservations) >= self.capacity
+        ):
+            return False
+        self.reservations[peer.peer_id] = now
+        return True
+
+    def has_reservation(self, peer_id: PeerId) -> bool:
+        return peer_id in self.reservations
+
+
+class CircuitDialer:
+    """Relay-aware dialing and DCUtR upgrades over a SimNetwork."""
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+        self._relays: dict[PeerId, RelayService] = {}
+        #: NAT'ed peer -> relays it holds reservations with
+        self._reservations: dict[PeerId, list[PeerId]] = {}
+        self.punches_attempted = 0
+        self.punches_succeeded = 0
+
+    # -- relay management -------------------------------------------------
+
+    def enable_relay(self, host: SimHost, capacity: int = 128) -> RelayService:
+        """Make a public host act as a circuit relay."""
+        if host.nat_private:
+            raise DialError("a NAT'ed host cannot act as a relay")
+        service = RelayService(host, capacity)
+        self._relays[host.peer_id] = service
+        return service
+
+    def reserve(self, peer: SimHost, relay_id: PeerId) -> bool:
+        """Register ``peer`` (typically NAT'ed) with a relay."""
+        service = self._relays.get(relay_id)
+        if service is None:
+            raise DialError(f"{relay_id} is not a relay")
+        if not service.reserve(peer, self.network.sim.now):
+            return False
+        self._reservations.setdefault(peer.peer_id, [])
+        if relay_id not in self._reservations[peer.peer_id]:
+            self._reservations[peer.peer_id].append(relay_id)
+        return True
+
+    def relays_for(self, peer_id: PeerId) -> list[PeerId]:
+        return list(self._reservations.get(peer_id, []))
+
+    # -- circuit dialing -----------------------------------------------------
+
+    def dial(self, src: SimHost, target_id: PeerId) -> Generator:
+        """Dial directly when possible, else through a relay.
+
+        A process returning the established :class:`Connection` (which
+        has ``relay`` set when circuit-switched).
+        """
+        target = self.network.host(target_id)
+        if target is not None and target.reachable:
+            connection = yield self.network.dial(src, target_id)
+            return connection
+        last_error: Exception | None = None
+        for relay_id in self.relays_for(target_id):
+            relay = self.network.host(relay_id)
+            if relay is None or not relay.reachable:
+                continue
+            try:
+                connection = yield from self._dial_through(src, relay, target_id)
+            except Exception as exc:  # noqa: BLE001 - try next relay
+                last_error = exc
+                continue
+            return connection
+        raise DialError(
+            f"{target_id} is unreachable and has no usable relay ({last_error})"
+        )
+
+    def _dial_through(
+        self, src: SimHost, relay: SimHost, target_id: PeerId
+    ) -> Generator:
+        target = self.network.host(target_id)
+        if target is None or not target.online:
+            raise DialError(f"{target_id} is offline")
+        service = self._relays[relay.peer_id]
+        if not service.has_reservation(target_id):
+            raise DialError(f"{target_id} holds no reservation at {relay.peer_id}")
+        # Establish src -> relay, then the relay bridges to the target
+        # over the target's long-lived reservation connection. Cost:
+        # one real handshake plus a stop-protocol round trip.
+        yield self.network.dial(src, relay.peer_id)
+        bridge_rtt = 2 * (
+            self.network.latency.one_way(
+                src.region, src.peer_class, relay.region, relay.peer_class,
+                self.network.rng,
+            )
+            + self.network.latency.one_way(
+                relay.region, relay.peer_class, target.region, target.peer_class,
+                self.network.rng,
+            )
+        )
+        done: Future = Future()
+
+        def establish() -> None:
+            if not target.online or not src.online:
+                done.fail(DialError(f"{target_id} went away during circuit setup"))
+                return
+            connection = Connection(
+                src.peer_id, target_id, Transport.TCP, bridge_rtt,
+                self.network.sim.now, relay=relay.peer_id,
+            )
+            back = Connection(
+                target_id, src.peer_id, Transport.TCP, bridge_rtt,
+                self.network.sim.now, relay=relay.peer_id,
+            )
+            src.connections[target_id] = connection
+            target.connections[src.peer_id] = back
+            for observer in src.on_connection:
+                observer(connection)
+            for observer in target.on_connection:
+                observer(back)
+            done.resolve(connection)
+
+        self.network.sim.schedule(bridge_rtt, establish)
+        connection = yield done
+        return connection
+
+    # -- DCUtR --------------------------------------------------------------
+
+    def hole_punch(self, src: SimHost, target_id: PeerId) -> Generator:
+        """Attempt a direct-connection upgrade over a relayed connection.
+
+        Returns True when the connection was upgraded (both sides now
+        talk directly); the relayed connection remains in place on
+        failure.
+        """
+        connection = src.connections.get(target_id)
+        if connection is None or connection.closed or connection.relay is None:
+            raise DialError("hole punching requires a live relayed connection")
+        target = self.network.host(target_id)
+        if target is None:
+            raise DialError(f"unknown peer {target_id}")
+        self.punches_attempted += 1
+        # DCUtR: exchange observed addresses and timing over the relay
+        # (one relayed round trip), then simultaneous-open.
+        yield connection.rtt_s
+        success_probability = min(
+            self._punch_probability(src), self._punch_probability(target)
+        )
+        direct_rtt = 2 * self.network.latency.one_way(
+            src.region, src.peer_class, target.region, target.peer_class,
+            self.network.rng,
+        )
+        yield direct_rtt  # the punch attempt itself
+        if self.network.rng.random() >= success_probability:
+            return False
+        self.punches_succeeded += 1
+        src.connections[target_id] = Connection(
+            src.peer_id, target_id, Transport.TCP, direct_rtt, self.network.sim.now
+        )
+        target.connections[src.peer_id] = Connection(
+            target_id, src.peer_id, Transport.TCP, direct_rtt, self.network.sim.now
+        )
+        return True
+
+    def _punch_probability(self, host: SimHost) -> float:
+        if not host.nat_private:
+            return 1.0
+        nat_type = getattr(host, "nat_type", NatType.CONE)
+        return PUNCH_SUCCESS[NatType(nat_type).value]

@@ -1,0 +1,338 @@
+"""The discrete-event kernel: clock, timers, futures and processes.
+
+Protocol logic in this library is written as *processes*: Python
+generators that ``yield`` either a float (sleep for that many simulated
+seconds) or a :class:`Future` (suspend until it settles). The kernel
+advances a virtual clock from event to event, so a simulated minute of
+network activity costs only as much real time as the callbacks it runs.
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotonic sequence number breaks ties), and no wall-clock or
+global RNG state is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class Future:
+    """A one-shot container for a value or error, settled at most once."""
+
+    __slots__ = ("_state", "_value", "_callbacks")
+
+    _PENDING, _RESOLVED, _FAILED = 0, 1, 2
+
+    def __init__(self) -> None:
+        self._state = Future._PENDING
+        self._value: Any = None
+        self._callbacks: list[Callable[[Future], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._state != Future._PENDING
+
+    @property
+    def failed(self) -> bool:
+        return self._state == Future._FAILED
+
+    def result(self) -> Any:
+        """The settled value; raises the stored exception on failure."""
+        if self._state == Future._PENDING:
+            raise SimulationError("future not settled")
+        if self._state == Future._FAILED:
+            raise self._value
+        return self._value
+
+    def exception(self) -> BaseException | None:
+        return self._value if self._state == Future._FAILED else None
+
+    def resolve(self, value: Any = None) -> None:
+        self._settle(Future._RESOLVED, value)
+
+    def fail(self, error: BaseException) -> None:
+        self._settle(Future._FAILED, error)
+
+    def _settle(self, state: int, value: Any) -> None:
+        if self._state != Future._PENDING:
+            return  # late settlement (e.g. a timed-out RPC reply) is ignored
+        self._state = state
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    @classmethod
+    def resolved(cls, value: Any = None) -> "Future":
+        future = cls()
+        future.resolve(value)
+        return future
+
+    @classmethod
+    def failed_with(cls, error: BaseException) -> "Future":
+        future = cls()
+        future.fail(error)
+        return future
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle for a scheduled callback; ``cancel()`` prevents firing."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class TimeoutError_(Exception):
+    """Raised inside processes when :func:`with_timeout` expires.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class Process:
+    """A running generator driven by the simulator.
+
+    The generator may yield:
+
+    - ``float | int`` — sleep that many simulated seconds;
+    - :class:`Future` — suspend until it settles (failures are thrown
+      into the generator as exceptions);
+    - ``None`` — yield control and resume immediately (same timestamp).
+
+    The process itself exposes a :attr:`future` that settles with the
+    generator's return value (or its uncaught exception).
+    """
+
+    __slots__ = ("_sim", "_generator", "future", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.future = Future()
+        self.name = name
+
+    def _start(self) -> None:
+        self._step(None, None)
+
+    def _step(self, value: Any, error: BaseException | None) -> None:
+        try:
+            if error is not None:
+                yielded = self._generator.throw(error)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.future.resolve(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - process boundary
+            self.future.fail(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if yielded is None:
+            self._sim.schedule(0.0, lambda: self._step(None, None))
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._step(None, SimulationError(f"negative sleep: {yielded}"))
+                return
+            self._sim.schedule(float(yielded), lambda: self._step(None, None))
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._on_future)
+        elif isinstance(yielded, Process):
+            yielded.future.add_callback(self._on_future)
+        else:
+            self._step(None, SimulationError(f"process yielded {type(yielded)!r}"))
+
+    def _on_future(self, future: Future) -> None:
+        if future.failed:
+            self._step(None, future.exception())
+        else:
+            self._step(future.result(), None)
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        event = _Event(self.now + delay, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return Timer(event)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a process immediately (its first step runs inline)."""
+        process = Process(self, generator, name)
+        process._start()
+        return process
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue drains, ``until`` is reached,
+        or ``max_events`` have run (a runaway-loop backstop)."""
+        count = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.callback()
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, generator: Generator, timeout: float | None = None) -> Any:
+        """Spawn a process, run the simulation until it finishes, and
+        return its result.
+
+        Stops as soon as the process settles, even if perpetual
+        background processes (churn, republishers) keep the event queue
+        populated. Raises the process's exception if it failed, and
+        :class:`SimulationError` if the queue drained (deadlock) or
+        ``timeout`` simulated seconds elapsed first.
+        """
+        deadline = None if timeout is None else self.now + timeout
+        process = self.spawn(generator)
+        while not process.future.done:
+            if not self._queue:
+                raise SimulationError("process did not complete (deadlock)")
+            event = self._queue[0]
+            if deadline is not None and event.time > deadline:
+                raise SimulationError("process did not complete (timeout)")
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.callback()
+        return process.future.result()
+
+
+def sleep(seconds: float) -> Generator:
+    """A sub-process that just waits (``yield from sleep(2)``)."""
+    yield seconds
+
+
+def any_of(futures: Iterable[Future]) -> Future:
+    """Settle when the first input future settles (value or error).
+
+    The result is ``(index, value)`` of the winner. Used for racing
+    Bitswap against the 1 s DHT-fallback timer.
+    """
+    futures = list(futures)
+    combined = Future()
+    if not futures:
+        raise SimulationError("any_of of no futures")
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(future: Future) -> None:
+            if combined.done:
+                return
+            if future.failed:
+                combined.fail(future.exception())  # type: ignore[arg-type]
+            else:
+                combined.resolve((index, future.result()))
+
+        return on_done
+
+    for index, future in enumerate(futures):
+        future.add_callback(make_callback(index))
+    return combined
+
+
+def all_of(futures: Iterable[Future]) -> Future:
+    """Settle with a list of results once every input settles.
+
+    Failures do not abort the batch: failed slots carry the exception
+    object. This mirrors the "fire and forget" provider-record RPCs of
+    Section 3.1, where the publisher does not abort on individual peer
+    failures.
+    """
+    futures = list(futures)
+    combined = Future()
+    if not futures:
+        combined.resolve([])
+        return combined
+    results: list[Any] = [None] * len(futures)
+    remaining = len(futures)
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(future: Future) -> None:
+            nonlocal remaining
+            results[index] = future.exception() if future.failed else future.result()
+            remaining -= 1
+            if remaining == 0:
+                combined.resolve(results)
+
+        return on_done
+
+    for index, future in enumerate(futures):
+        future.add_callback(make_callback(index))
+    return combined
+
+
+def with_timeout(sim: Simulator, future: Future, seconds: float) -> Future:
+    """Wrap ``future`` so it fails with :class:`TimeoutError_` after
+    ``seconds`` if it has not settled."""
+    wrapped = Future()
+
+    def on_timeout() -> None:
+        wrapped.fail(TimeoutError_(f"timed out after {seconds}s"))
+
+    timer = sim.schedule(seconds, on_timeout)
+
+    def on_done(inner: Future) -> None:
+        timer.cancel()
+        if inner.failed:
+            wrapped.fail(inner.exception())  # type: ignore[arg-type]
+        else:
+            wrapped.resolve(inner.result())
+
+    future.add_callback(on_done)
+    return wrapped

@@ -1,0 +1,11 @@
+"""Command-line tooling.
+
+The paper releases its crawler, datasets and analysis code alongside
+the publication; this package is the equivalent for the reproduction:
+
+- :mod:`repro.tools.cli` — run any experiment from the shell
+  (``python -m repro.tools.cli perf --rounds 5``).
+- :mod:`repro.tools.export` — dump experiment results in the shape of
+  the paper's published datasets (crawl CSVs, gateway access logs,
+  per-operation performance records).
+"""

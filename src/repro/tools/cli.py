@@ -1,0 +1,194 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.tools.cli perf --peers 1500 --rounds 5
+    python -m repro.tools.cli deployment --peers 50000
+    python -m repro.tools.cli crawl --peers 600 --hours 6 --export crawl.csv
+    python -m repro.tools.cli gateway --scale 100 --export log.csv
+
+Each subcommand builds the corresponding experiment, prints the
+reproduced tables/figures via :mod:`repro.experiments.report`, and
+optionally exports the raw dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.deployment import (
+    CrawlCampaignConfig,
+    analyze_population,
+    run_crawl_timeseries,
+)
+from repro.experiments.gateway_exp import (
+    GatewayExperimentConfig,
+    run_gateway_experiment,
+)
+from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.report import render_cdf, render_share_table, render_table
+from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
+from repro.tools import export
+from repro.utils.rng import derive_rng
+from repro.utils.stats import Cdf
+from repro.workloads.gateway_trace import GatewayTraceConfig
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IPFS reproduction experiment runner"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    perf = sub.add_parser("perf", help="six-region publish/retrieve experiment")
+    perf.add_argument("--peers", type=int, default=1500)
+    perf.add_argument("--rounds", type=int, default=5)
+    perf.add_argument("--export", metavar="FILE", default=None,
+                      help="write per-operation JSONL records")
+
+    deployment = sub.add_parser(
+        "deployment", help="population analysis (Figs 5/7, Tables 2/3)"
+    )
+    deployment.add_argument("--peers", type=int, default=30_000)
+
+    crawl = sub.add_parser("crawl", help="crawler + prober campaign (Figs 4a/8)")
+    crawl.add_argument("--peers", type=int, default=500)
+    crawl.add_argument("--hours", type=float, default=6.0)
+    crawl.add_argument("--interval-minutes", type=float, default=30.0)
+    crawl.add_argument("--export", metavar="FILE", default=None,
+                       help="write the per-crawl peer CSV")
+
+    gateway = sub.add_parser("gateway", help="gateway day replay (Fig 11/Table 5)")
+    gateway.add_argument("--scale", type=int, default=100,
+                         help="divide the 7.1M-request day by this")
+    gateway.add_argument("--export", metavar="FILE", default=None,
+                         help="write the access-log CSV")
+    return parser
+
+
+def _cmd_perf(args) -> None:
+    population = generate_population(
+        PopulationConfig(n_peers=args.peers), derive_rng(args.seed, "cli-pop")
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=args.seed), vantage_regions=AWS_REGIONS
+    )
+    results = run_perf_experiment(
+        scenario, PerfConfig(rounds=args.rounds, seed=args.seed)
+    )
+    table = results.latency_percentiles()
+    print(render_table(
+        "Table 4 — latency percentiles p50/p90/p95 (s)",
+        ["region", "publication", "retrieval"],
+        [
+            (
+                region,
+                " / ".join(f"{x:.1f}" for x in row.get("publication", [])),
+                " / ".join(f"{x:.2f}" for x in row.get("retrieval", [])),
+            )
+            for region, row in table.items()
+        ],
+    ))
+    retrievals = results.all_retrievals()
+    if retrievals:
+        print()
+        print(render_cdf(
+            "Fig 9d — retrieval durations",
+            Cdf.from_samples(r.total_duration for r in retrievals),
+            grid=[1, 2, 3, 4, 5],
+        ))
+    if args.export:
+        rows = export.export_perf_dataset(results, args.export)
+        print(f"\nwrote {rows} operation records to {args.export}")
+
+
+def _cmd_deployment(args) -> None:
+    population = generate_population(
+        PopulationConfig(n_peers=args.peers), derive_rng(args.seed, "cli-pop")
+    )
+    analysis = analyze_population(population)
+    print(render_share_table("Fig 5 — peers by country", analysis.country_shares))
+    print()
+    print(render_table(
+        "Table 2 — top ASes",
+        ["share", "ASN", "name"],
+        [
+            (f"{row.share:6.1%}", row.asn, row.name[:50])
+            for row in analysis.as_rows[:8]
+        ],
+    ))
+    print()
+    rows, non_cloud = analysis.cloud_rows, analysis.non_cloud
+    print(render_table(
+        "Table 3 — cloud providers",
+        ["provider", "share"],
+        [(r.provider, f"{r.share:6.2%}") for r in rows[:8]]
+        + [("Non-Cloud", f"{non_cloud.share:6.2%}")],
+    ))
+
+
+def _cmd_crawl(args) -> None:
+    population = generate_population(
+        PopulationConfig(n_peers=args.peers), derive_rng(args.seed, "cli-pop")
+    )
+    scenario = build_scenario(population, ScenarioConfig(seed=args.seed))
+    config = CrawlCampaignConfig(
+        crawl_interval_s=args.interval_minutes * 60.0,
+        duration_s=args.hours * 3600.0,
+    )
+    results = run_crawl_timeseries(scenario, config)
+    print(render_table(
+        "Fig 4a — peers per crawl",
+        ["t", "total", "dialable", "undialable"],
+        [
+            (f"{start:.0f}", total, dialable, undialable)
+            for start, total, dialable, undialable in results.timeseries()
+        ],
+    ))
+    summary = results.churn_summary()
+    print(f"\nsessions: {summary.session_count}, median "
+          f"{summary.median_s / 60:.1f} min, "
+          f"{summary.under_8h_fraction:.1%} under 8 h")
+    if args.export:
+        rows = export.export_crawl_dataset(results, args.export)
+        print(f"wrote {rows} crawl rows to {args.export}")
+
+
+def _cmd_gateway(args) -> None:
+    results = run_gateway_experiment(
+        GatewayExperimentConfig(
+            trace=GatewayTraceConfig(scale=args.scale), seed=args.seed
+        )
+    )
+    print(render_table(
+        "Table 5 — cache tiers",
+        ["tier", "median latency", "requests", "traffic"],
+        [
+            (row.tier.value, f"{row.median_latency:.3f} s",
+             f"{row.request_share:6.1%}", f"{row.traffic_share:6.1%}")
+            for row in results.tier_table()
+        ],
+    ))
+    print(f"\ncombined hit rate: {results.combined_hit_rate():.1%}")
+    if args.export:
+        rows = export.export_gateway_log(results.log, args.export)
+        print(f"wrote {rows} log rows to {args.export}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "perf": _cmd_perf,
+        "deployment": _cmd_deployment,
+        "crawl": _cmd_crawl,
+        "gateway": _cmd_gateway,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Base encodings used by multibase.
+
+Implements the subset of multibase encodings exercised by IPFS in
+practice: base16 (hex), base32 (RFC 4648, lowercase, unpadded — the
+default for CIDv1), base36 (used by IPNS subdomain gateways), base58btc
+(the Bitcoin alphabet, used for PeerIDs and CIDv0), base64 and base64url
+(unpadded, per the multibase spec).
+
+All decoders are strict: unknown characters raise
+:class:`~repro.errors.DecodeError` rather than being skipped.
+"""
+
+from __future__ import annotations
+
+import base64 as _b64
+import binascii
+
+from repro.errors import DecodeError
+
+_BASE58_ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_BASE58_INDEX = {char: index for index, char in enumerate(_BASE58_ALPHABET)}
+
+_BASE36_ALPHABET = "0123456789abcdefghijklmnopqrstuvwxyz"
+_BASE36_INDEX = {char: index for index, char in enumerate(_BASE36_ALPHABET)}
+
+
+def base16_encode(data: bytes) -> str:
+    """Encode ``data`` as lowercase hex."""
+    return data.hex()
+
+
+def base16_decode(text: str) -> bytes:
+    """Decode lowercase or uppercase hex."""
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise DecodeError(f"invalid base16: {exc}") from exc
+
+
+def base32_encode(data: bytes) -> str:
+    """Encode ``data`` as lowercase, unpadded RFC 4648 base32."""
+    return _b64.b32encode(data).decode("ascii").rstrip("=").lower()
+
+
+def base32_decode(text: str) -> bytes:
+    """Decode lowercase, unpadded RFC 4648 base32."""
+    if text != text.lower():
+        raise DecodeError("multibase base32 must be lowercase")
+    padded = text.upper() + "=" * (-len(text) % 8)
+    try:
+        return _b64.b32decode(padded)
+    except (binascii.Error, ValueError) as exc:
+        raise DecodeError(f"invalid base32: {exc}") from exc
+
+
+def _bigint_encode(data: bytes, alphabet: str) -> str:
+    """Encode bytes as a big-endian big integer in ``alphabet``.
+
+    Leading zero bytes are preserved as the alphabet's zero character,
+    matching the base58btc convention.
+    """
+    leading_zeros = len(data) - len(data.lstrip(b"\x00"))
+    number = int.from_bytes(data, "big")
+    base = len(alphabet)
+    digits: list[str] = []
+    while number:
+        number, remainder = divmod(number, base)
+        digits.append(alphabet[remainder])
+    return alphabet[0] * leading_zeros + "".join(reversed(digits))
+
+
+def _bigint_decode(text: str, alphabet: str, index: dict[str, int], label: str) -> bytes:
+    leading_zeros = 0
+    for char in text:
+        if char == alphabet[0]:
+            leading_zeros += 1
+        else:
+            break
+    number = 0
+    base = len(alphabet)
+    for char in text:
+        try:
+            number = number * base + index[char]
+        except KeyError:
+            raise DecodeError(f"invalid {label} character: {char!r}") from None
+    body = number.to_bytes((number.bit_length() + 7) // 8, "big") if number else b""
+    return b"\x00" * leading_zeros + body
+
+
+def base58btc_encode(data: bytes) -> str:
+    """Encode ``data`` using the Bitcoin base58 alphabet."""
+    return _bigint_encode(data, _BASE58_ALPHABET)
+
+
+def base58btc_decode(text: str) -> bytes:
+    """Decode a base58btc string."""
+    return _bigint_decode(text, _BASE58_ALPHABET, _BASE58_INDEX, "base58btc")
+
+
+def base36_encode(data: bytes) -> str:
+    """Encode ``data`` as lowercase base36."""
+    return _bigint_encode(data, _BASE36_ALPHABET)
+
+
+def base36_decode(text: str) -> bytes:
+    """Decode a lowercase base36 string."""
+    if text != text.lower():
+        raise DecodeError("multibase base36 must be lowercase")
+    return _bigint_decode(text, _BASE36_ALPHABET, _BASE36_INDEX, "base36")
+
+
+def base64_encode(data: bytes) -> str:
+    """Encode ``data`` as unpadded standard base64."""
+    return _b64.b64encode(data).decode("ascii").rstrip("=")
+
+
+def base64_decode(text: str) -> bytes:
+    """Decode unpadded standard base64."""
+    padded = text + "=" * (-len(text) % 4)
+    try:
+        return _b64.b64decode(padded, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise DecodeError(f"invalid base64: {exc}") from exc
+
+
+def base64url_encode(data: bytes) -> str:
+    """Encode ``data`` as unpadded URL-safe base64."""
+    return _b64.urlsafe_b64encode(data).decode("ascii").rstrip("=")
+
+
+def base64url_decode(text: str) -> bytes:
+    """Decode unpadded URL-safe base64."""
+    padded = text + "=" * (-len(text) % 4)
+    try:
+        return _b64.urlsafe_b64decode(padded.encode("ascii"))
+    except (binascii.Error, ValueError) as exc:
+        raise DecodeError(f"invalid base64url: {exc}") from exc

@@ -1,0 +1,126 @@
+"""Statistics helpers used by the measurement and reporting pipeline.
+
+The paper reports percentiles (Table 4), CDFs (Figs 7–10), and a Pearson
+correlation between object size and latency (Section 6.3). These helpers
+implement exactly those quantities over plain Python sequences so the
+measurement code stays dependency-light; numpy is only an optional
+accelerator in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` is in [0, 100]. Mirrors ``numpy.percentile`` with the default
+    "linear" interpolation so our tables match common tooling.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def percentiles(values: Sequence[float], qs: Iterable[float]) -> list[float]:
+    """Return several percentiles of ``values`` in one pass over a sort."""
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    ordered = sorted(values)
+    results = []
+    for q in qs:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q out of range: {q}")
+        rank = (len(ordered) - 1) * q / 100.0
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            results.append(float(ordered[low]))
+        else:
+            fraction = rank - low
+            results.append(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+    return results
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution function.
+
+    ``xs`` are the sorted sample values and ``ps`` the cumulative
+    probabilities ``i / n`` for ``i`` in ``1..n``. The paper's figures
+    are all empirical CDFs of this form.
+    """
+
+    xs: tuple[float, ...]
+    ps: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        ordered = sorted(samples)
+        if not ordered:
+            raise ValueError("CDF of empty sample set")
+        n = len(ordered)
+        return cls(tuple(float(x) for x in ordered), tuple((i + 1) / n for i in range(n)))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def probability_at(self, x: float) -> float:
+        """Return P(X <= x) via binary search."""
+        import bisect
+
+        index = bisect.bisect_right(self.xs, x)
+        return index / len(self.xs)
+
+    def value_at(self, p: float) -> float:
+        """Return the smallest sample value v with P(X <= v) >= p."""
+        if not 0 < p <= 1:
+            raise ValueError(f"probability out of range: {p}")
+        index = math.ceil(p * len(self.xs)) - 1
+        return self.xs[max(index, 0)]
+
+    def evaluate(self, grid: Sequence[float]) -> list[tuple[float, float]]:
+        """Sample the CDF on ``grid``, returning (x, P(X <= x)) pairs."""
+        return [(x, self.probability_at(x)) for x in grid]
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two paired samples.
+
+    Section 6.3 reports r = 0.13 between object size and gateway latency;
+    the gateway experiment recomputes the same statistic.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("paired samples must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("correlation requires at least two samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("correlation undefined for constant samples")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (errors on empty input to avoid silent NaNs)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,79 @@
+"""Unsigned varint (LEB128) encoding.
+
+Multiformats values (multicodec identifiers, multihash function codes and
+digest lengths, CID version numbers) are framed with unsigned varints as
+specified by the multiformats project. The encoding stores 7 bits per
+byte, least-significant group first, with the high bit of each byte set
+when more bytes follow.
+
+The multiformats spec caps varints at 9 bytes (63 bits) to bound parser
+work; we enforce the same limit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+
+#: Maximum number of bytes in a spec-compliant varint.
+MAX_VARINT_LEN = 9
+
+#: Largest value representable in :data:`MAX_VARINT_LEN` bytes.
+MAX_VARINT_VALUE = (1 << 63) - 1
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned varint.
+
+    >>> encode_varint(0).hex()
+    '00'
+    >>> encode_varint(300).hex()
+    'ac02'
+    """
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    if value > MAX_VARINT_VALUE:
+        raise ValueError(f"varint value too large: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Read a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``. Raises :class:`DecodeError` on
+    truncated input, over-long encodings, or non-minimal encodings
+    (e.g. ``0x80 0x00``), matching the strictness of the Go reference
+    implementation.
+    """
+    value = 0
+    shift = 0
+    for length in range(1, MAX_VARINT_LEN + 1):
+        index = offset + length - 1
+        if index >= len(data):
+            raise DecodeError("truncated varint")
+        byte = data[index]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if length > 1 and byte == 0:
+                raise DecodeError("non-minimal varint encoding")
+            return value, index + 1
+        shift += 7
+    raise DecodeError("varint longer than 9 bytes")
+
+
+def decode_varint(data: bytes) -> int:
+    """Decode a buffer that contains exactly one varint.
+
+    Raises :class:`DecodeError` if there are trailing bytes.
+    """
+    value, end = read_varint(data)
+    if end != len(data):
+        raise DecodeError(f"trailing bytes after varint: {len(data) - end}")
+    return value

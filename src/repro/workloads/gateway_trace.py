@@ -1,0 +1,193 @@
+"""Gateway request trace generator (Sections 4.2 and 6.3).
+
+Generates one day of GET requests statistically matching the ipfs.io
+dataset: 7.1 M requests from 101 k users over 274 k CIDs (scaled down
+by ``scale``), with:
+
+- **diurnal demand** (Fig 4b): a two-peak daily curve in the gateway's
+  timezone, produced by mixing each user country's local daytime curve;
+- **user geography** (Fig 6): US 50.4 %, CN 31.9 %, HK 6.6 %,
+  CA 4.6 %, JP 1.7 %, plus a 54-country tail;
+- **Zipf CID popularity** feeding the cache analysis (Fig 11b,
+  Table 5); a configurable slice of CIDs is *pinned* (the Web3/NFT
+  Storage content held in the gateway's node store);
+- **object sizes** from the Fig 11a distribution;
+- **referrers**: 51.8 % of traffic arrives via third-party websites,
+  70.6 % of that from 72 semi-popular sites hosted mostly in the US,
+  Iceland and Canada.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.objects import sample_object_size
+
+#: Fig 6 user-country shares (top five are from the paper).
+USER_COUNTRY_SHARES: list[tuple[str, float]] = [
+    ("US", 0.504), ("CN", 0.319), ("HK", 0.066), ("CA", 0.046), ("JP", 0.017),
+]
+
+#: Rough UTC offsets used to shape each country's diurnal curve.
+_COUNTRY_UTC_OFFSET = {"US": -8, "CN": 8, "HK": 8, "CA": -5, "JP": 9}
+
+#: Referrer calibration (Section 6.3, "Gateway Referrals").
+REFERRED_FRACTION = 0.518
+SEMI_POPULAR_FRACTION = 0.706
+SEMI_POPULAR_SITES = 72
+REFERRER_HOST_COUNTRIES = [("US", 0.473), ("IS", 0.200), ("CA", 0.127), ("DE", 0.2)]
+
+
+@dataclass(frozen=True)
+class GatewayRequest:
+    """One log line of the gateway dataset."""
+
+    timestamp: float  # seconds since midnight, gateway (PST) clock
+    user: str  # anonymized IP + user agent combination
+    country: str
+    cid_index: int  # index into the trace's CID universe
+    size: int  # object bytes
+    pinned: bool  # held in the gateway's IPFS node store
+    referrer: str | None
+
+
+@dataclass(frozen=True)
+class GatewayTraceConfig:
+    """Scale knobs; defaults are the paper's numbers divided by
+    ``scale`` (the full trace is 7.1 M requests)."""
+
+    scale: int = 50
+    total_requests: int = 7_100_000
+    total_users: int = 101_000
+    total_cids: int = 274_000
+    zipf_exponent: float = 1.15
+    pinned_cid_fraction: float = 0.04
+    #: Probability mass of requests that target pinned CIDs (~40 % of
+    #: requests are served from the node store in Table 5).
+    pinned_request_share: float = 0.402
+    seconds_per_day: int = 86_400
+
+    @property
+    def n_requests(self) -> int:
+        return self.total_requests // self.scale
+
+    @property
+    def n_users(self) -> int:
+        return max(1, self.total_users // self.scale)
+
+    @property
+    def n_cids(self) -> int:
+        return max(10, self.total_cids // self.scale)
+
+
+@dataclass
+class GatewayTrace:
+    """The generated day of traffic."""
+
+    requests: list[GatewayRequest]
+    config: GatewayTraceConfig
+    cid_sizes: list[int] = field(default_factory=list)
+    pinned_cids: set[int] = field(default_factory=set)
+
+    def users(self) -> set[str]:
+        return {request.user for request in self.requests}
+
+    def unique_cids(self) -> set[int]:
+        return {request.cid_index for request in self.requests}
+
+    def total_bytes(self) -> int:
+        return sum(request.size for request in self.requests)
+
+
+def _country_pool(rng: random.Random) -> tuple[list[str], list[float]]:
+    countries = [country for country, _ in USER_COUNTRY_SHARES]
+    weights = [share for _, share in USER_COUNTRY_SHARES]
+    remaining = 1.0 - sum(weights)
+    # 54 further countries share the tail (59 total, Section 5.1).
+    tail = ["T%02d" % i for i in range(54)]
+    tail_weights = [remaining / len(tail)] * len(tail)
+    return countries + tail, weights + tail_weights
+
+
+def _diurnal_weight(second: float, utc_offset: int) -> float:
+    """Relative demand at a gateway-clock time for users at an offset.
+
+    Users are active in their local daytime: a raised cosine peaking at
+    local 15:00 with a secondary evening bump.
+    """
+    local_hour = ((second / 3600.0) + 8 + utc_offset) % 24  # gateway is PST (UTC-8)
+    primary = math.cos((local_hour - 15.0) / 24.0 * 2 * math.pi)
+    evening = 0.45 * math.cos((local_hour - 21.0) / 24.0 * 2 * math.pi)
+    return max(0.08, 0.6 + primary + evening)
+
+
+def _zipf_weights(n: int, exponent: float) -> list[float]:
+    weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def generate_gateway_trace(
+    config: GatewayTraceConfig, rng: random.Random
+) -> GatewayTrace:
+    """Generate the full day of requests, sorted by timestamp."""
+    countries, country_weights = _country_pool(rng)
+
+    # Users: each bound to a country; per-user demand is heavy-tailed.
+    user_countries = rng.choices(countries, country_weights, k=config.n_users)
+    user_weights = [rng.paretovariate(1.3) for _ in range(config.n_users)]
+
+    # CID universe: sizes and pinned set.
+    cid_sizes = [sample_object_size(rng) for _ in range(config.n_cids)]
+    n_pinned = max(1, int(config.n_cids * config.pinned_cid_fraction))
+    pinned_cids = set(range(n_pinned))  # the most popular slots: pinning
+    # targets exactly the content initiatives push through the gateway.
+    pinned_weights = _zipf_weights(n_pinned, config.zipf_exponent)
+    open_indices = list(range(n_pinned, config.n_cids))
+    open_weights = _zipf_weights(len(open_indices), config.zipf_exponent)
+
+    referrer_sites = [
+        "site-%02d.example" % index for index in range(SEMI_POPULAR_SITES)
+    ]
+    long_tail_sites = ["tail-%04d.example" % index for index in range(2000)]
+
+    requests: list[GatewayRequest] = []
+    user_indices = list(range(config.n_users))
+    chosen_users = rng.choices(user_indices, user_weights, k=config.n_requests)
+    for user_index in chosen_users:
+        country = user_countries[user_index]
+        offset = _COUNTRY_UTC_OFFSET.get(country, rng.choice([-8, -5, 0, 1, 8]))
+        timestamp = _sample_diurnal_time(rng, offset, config.seconds_per_day)
+        if rng.random() < config.pinned_request_share:
+            cid_index = rng.choices(range(n_pinned), pinned_weights)[0]
+        else:
+            cid_index = rng.choices(open_indices, open_weights)[0]
+        referrer = None
+        if rng.random() < REFERRED_FRACTION:
+            if rng.random() < SEMI_POPULAR_FRACTION:
+                referrer = rng.choice(referrer_sites)
+            else:
+                referrer = rng.choice(long_tail_sites)
+        requests.append(
+            GatewayRequest(
+                timestamp=timestamp,
+                user="user-%06d" % user_index,
+                country=country,
+                cid_index=cid_index,
+                size=cid_sizes[cid_index],
+                pinned=cid_index in pinned_cids,
+                referrer=referrer,
+            )
+        )
+    requests.sort(key=lambda request: request.timestamp)
+    return GatewayTrace(requests, config, cid_sizes, pinned_cids)
+
+
+def _sample_diurnal_time(rng: random.Random, utc_offset: int, day: int) -> float:
+    """Rejection-sample a request time from the diurnal curve."""
+    while True:
+        second = rng.uniform(0, day)
+        if rng.random() < _diurnal_weight(second, utc_offset) / 2.2:
+            return second

@@ -1,0 +1,483 @@
+"""Synthetic peer population calibrated to Section 5 of the paper.
+
+The generator reproduces, at a configurable scale, every structural
+property the deployment analysis measures:
+
+- **Geography (Fig 5)** — peer-country shares led by US (28.5 %) and
+  CN (24.2 %); ~152 countries total; ~8.8 % multihomed peers.
+- **AS structure (Table 2, Fig 7d)** — the five named top ASes with
+  their published IP shares (>50 % combined), top-10 ≈ 65 %,
+  top-100 ≈ 90 %, ~2715 ASes total (Zipf tail).
+- **PeerIDs per IP (Fig 7c)** — >92 % of IPs host one PeerID while ten
+  "mega" IPs host roughly a third of all PeerIDs.
+- **Dialability (Fig 4a/7b)** — ~45 % of addresses never reachable;
+  about one third of peers never accessible.
+- **Reliability (Fig 7a)** — ~1.4 % of peers with >90 % uptime.
+- **Clouds (Table 3)** — <2.3 % of IPs in cloud providers, Contabo
+  first, AWS second.
+- **Churn (Fig 8)** — log-normal session lengths with country-specific
+  medians (HK 24.2 min; Germany more than double that).
+
+Because peer-level and IP-level marginals interact (the paper's CN has
+31.7 % of IPs but only 24.2 % of peers), IP attributes are drawn from
+the AS table first and the *mega-IP skew* then shifts the peer-level
+distribution — the same mechanism the paper observes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.measurement.registries import AsInfo, CloudRegistry, GeoIpRegistry
+from repro.multiformats.peerid import PeerId
+from repro.simnet.churn import ChurnModel
+from repro.simnet.latency import PeerClass, Region
+
+# --------------------------------------------------------------------------
+# Calibration tables
+# --------------------------------------------------------------------------
+
+#: country -> macro region of the latency matrix.
+COUNTRY_REGION: dict[str, Region] = {
+    "US": Region.NA_WEST, "CA": Region.NA_EAST, "MX": Region.NA_EAST,
+    "BR": Region.SA, "AR": Region.SA, "CL": Region.SA, "CO": Region.SA,
+    "CN": Region.ASIA_EAST, "TW": Region.ASIA_EAST, "KR": Region.ASIA_EAST,
+    "JP": Region.ASIA_EAST, "HK": Region.ASIA_EAST,
+    "SG": Region.ASIA_SE, "TH": Region.ASIA_SE, "VN": Region.ASIA_SE,
+    "ID": Region.ASIA_SE, "MY": Region.ASIA_SE, "IN": Region.ASIA_SE,
+    "FR": Region.EU, "DE": Region.EU, "GB": Region.EU, "NL": Region.EU,
+    "PL": Region.EU, "RU": Region.EU, "UA": Region.EU, "IT": Region.EU,
+    "ES": Region.EU, "SE": Region.EU, "CH": Region.EU, "FI": Region.EU,
+    "ZA": Region.AFRICA, "NG": Region.AFRICA, "KE": Region.AFRICA,
+    "EG": Region.AFRICA,
+    "AE": Region.MIDDLE_EAST, "SA": Region.MIDDLE_EAST, "IL": Region.MIDDLE_EAST,
+    "TR": Region.MIDDLE_EAST, "BH": Region.MIDDLE_EAST,
+    "AU": Region.OCEANIA, "NZ": Region.OCEANIA,
+}
+
+#: Median session length in minutes, per country (Fig 8 calibration:
+#: Hong Kong 24.2 min; Germany "more than double that figure").
+CHURN_MEDIAN_MIN: dict[str, float] = {
+    "HK": 24.2, "DE": 52.0, "US": 40.0, "CN": 29.0, "FR": 46.0,
+    "KR": 33.0, "TW": 30.0, "JP": 44.0, "GB": 45.0, "CA": 42.0,
+}
+DEFAULT_CHURN_MEDIAN_MIN = 38.0
+
+#: The five ASes of Table 2 with their published IP shares, followed by
+#: five fabricated-but-plausible next entries chosen so the top-10
+#: cumulative share lands on the paper's 64.9 %.
+_TOP_ASES: list[tuple[int, int, str, str, float]] = [
+    (4134, 76, "CHINANET-BACKBONE No.31,Jin-rong Street, CN", "CN", 0.189),
+    (4837, 160, "CHINA169-BACKBONE CHINA UNICOM China169 Back., CN", "CN", 0.128),
+    (4760, 2976, "HKTIMS-AP HKT Limited, HK", "HK", 0.096),
+    (26599, 6797, "TELEFONICA BRASIL S.A, BR", "BR", 0.069),
+    (3462, 340, "HINET Data Communication Business Group, TW", "TW", 0.053),
+    (4766, 523, "KIXS-AS-KR Korea Telecom, KR", "KR", 0.035),
+    (7922, 19, "COMCAST-7922, US", "US", 0.025),
+    (3215, 233, "Orange S.A., FR", "FR", 0.020),
+    (701, 18, "UUNET Verizon Business, US", "US", 0.018),
+    (9808, 257, "CMNET-GD Guangdong Mobile, CN", "CN", 0.016),
+]
+
+#: Country weights for the fabricated AS tail (shapes the long tail of
+#: the IP-level geography).
+_TAIL_AS_COUNTRIES: list[tuple[str, float]] = [
+    ("US", 0.30), ("DE", 0.07), ("FR", 0.06), ("KR", 0.05), ("JP", 0.05),
+    ("GB", 0.045), ("CA", 0.04), ("NL", 0.035), ("RU", 0.03), ("PL", 0.025),
+    ("CN", 0.025), ("TW", 0.02), ("BR", 0.02), ("AU", 0.02), ("SG", 0.02),
+    ("IN", 0.02), ("IT", 0.02), ("ES", 0.02), ("SE", 0.015), ("CH", 0.015),
+    ("ZA", 0.01), ("AE", 0.01), ("TR", 0.01), ("UA", 0.01), ("MX", 0.01),
+    ("AR", 0.01), ("CL", 0.01), ("TH", 0.01), ("VN", 0.01), ("ID", 0.01),
+    ("MY", 0.01), ("FI", 0.01), ("EG", 0.005), ("KE", 0.005), ("NG", 0.005),
+    ("IL", 0.005), ("NZ", 0.005), ("SA", 0.005), ("CO", 0.005), ("HK", 0.005),
+]
+
+#: Cloud providers of Table 3 with their share of all IP addresses.
+CLOUD_SHARES: list[tuple[str, float]] = [
+    ("Contabo GmbH", 0.0048),
+    ("Amazon AWS", 0.0038),
+    ("Microsoft Azure/Corporation", 0.0033),
+    ("Digital Ocean", 0.0018),
+    ("Hetzner Online", 0.0013),
+    ("GZ Systems", 0.00075),
+    ("OVH", 0.00073),
+    ("Google Cloud", 0.00062),
+    ("Tencent Cloud", 0.00056),
+    ("Choopa, LLC. Cloud", 0.00053),
+    ("Alibaba Cloud", 0.00039),
+    ("CloudFlare Inc", 0.00030),
+    ("Oracle Cloud", 0.00006),
+    ("IBM Cloud", 0.00002),
+    ("Other Cloud Providers", 0.0043),
+]
+
+#: Peer-level country shares (Figure 5 targets; top five are the
+#: paper's numbers, the rest plausible fill, scaled to leave a 6 % tail
+#: across ~132 further pseudo countries for the 152-country total).
+PEER_COUNTRY_SHARES: list[tuple[str, float]] = [
+    ("US", 0.285), ("CN", 0.242), ("FR", 0.083), ("TW", 0.072), ("KR", 0.067),
+    ("DE", 0.048), ("HK", 0.036), ("JP", 0.028), ("GB", 0.022), ("CA", 0.019),
+    ("BR", 0.015), ("NL", 0.015), ("RU", 0.014), ("PL", 0.011), ("SG", 0.010),
+    ("AU", 0.008), ("IN", 0.007), ("IT", 0.007), ("ES", 0.006), ("SE", 0.005),
+]
+_NAMED_SHARE_SCALE = 0.94  # leaves 6 % for the pseudo-country tail
+N_TAIL_COUNTRIES = 132
+
+#: IPs-per-peer multiplier per country. This reconciles the peer-level
+#: geography (Fig 5) with the IP-level AS shares (Table 2): HKT's 9.6 %
+#: of IPs with only ~3.6 % of peers means Hong Kong addresses rotate
+#: under their peers (many IPs per peer); the US is the opposite.
+IP_MULTIPLIER: dict[str, float] = {
+    "HK": 3.7, "CN": 1.85, "BR": 5.5, "TW": 1.35, "US": 0.75,
+    "KR": 0.75, "FR": 0.5,
+}
+
+#: Mega-IP host countries: ten addresses hosting ~a third of all
+#: PeerIDs (Fig 7c). Skewed to the US, which is how the peer-level
+#: country distribution ends up US-led while the IP level is CN-led.
+_MEGA_IP_COUNTRIES = ["US", "CN", "US", "CN", "FR", "TW", "KR", "US", "DE", "HK"]
+
+#: Fraction of all PeerIDs hosted on the ten mega IPs.
+MEGA_PEER_FRACTION = 0.33
+
+#: Paper: 464 k IPs over 199 k peers — about 2.3 addresses per peer.
+MEAN_IPS_PER_PEER = 2.3
+
+#: Fraction of peers advertising IPs in multiple countries.
+MULTIHOMING_FRACTION = 0.088
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Scale and mixture knobs (defaults reproduce the paper)."""
+
+    n_peers: int = 5000
+    n_tail_ases: int = 2705  # + 10 named = 2715 total (Section 5.2)
+    never_reachable_fraction: float = 0.33
+    reliable_fraction: float = 0.014
+    cloud_always_on: bool = True
+    slow_fraction_of_home: float = 0.10
+
+
+@dataclass(frozen=True)
+class PeerSpec:
+    """Everything the simulator and analysis need about one peer."""
+
+    index: int
+    peer_id: PeerId
+    ips: tuple[str, ...]
+    country: str  # of the primary address
+    countries: tuple[str, ...]
+    asn: int
+    region: Region
+    cloud_provider: str | None
+    reachability: str  # 'reliable' | 'never' | 'churning'
+    peer_class: PeerClass
+    churn_model: ChurnModel
+    agent_version: str
+
+    @property
+    def multihomed(self) -> bool:
+        return len(set(self.countries)) > 1
+
+
+@dataclass
+class Population:
+    """The generated peers plus their consistent lookup registries."""
+
+    peers: list[PeerSpec]
+    geo: GeoIpRegistry
+    clouds: CloudRegistry
+    config: PopulationConfig
+
+    def peer_ips(self) -> dict[PeerId, tuple[str, ...]]:
+        return {peer.peer_id: peer.ips for peer in self.peers}
+
+    def all_ips(self) -> list[str]:
+        seen: set[str] = set()
+        out: list[str] = []
+        for peer in self.peers:
+            for ip in peer.ips:
+                if ip not in seen:
+                    seen.add(ip)
+                    out.append(ip)
+        return out
+
+
+def _build_as_table(rng: random.Random, n_tail: int) -> list[tuple[AsInfo, str, float]]:
+    """The global AS share table: named heads + Zipf tail.
+
+    Tail shares are scaled so ranks 11-100 sum to ~25.7 % (making the
+    top-100 share 90.6 %) and the rest covers the remainder.
+    """
+    table: list[tuple[AsInfo, str, float]] = [
+        (AsInfo(asn, rank, name), country, share)
+        for asn, rank, name, country, share in _TOP_ASES
+    ]
+    head_share = sum(share for *_, share in table)
+    mid_total = 0.906 - head_share  # ranks 11..100
+    tail_total = 1.0 - 0.906  # ranks 101..
+    mid_weights = [1.0 / i for i in range(1, 91)]
+    mid_scale = mid_total / sum(mid_weights)
+    far_count = n_tail - 90
+    far_weights = [1.0 / i for i in range(1, far_count + 1)]
+    far_scale = tail_total / sum(far_weights)
+    countries = [c for c, _ in _TAIL_AS_COUNTRIES]
+    weights = [w for _, w in _TAIL_AS_COUNTRIES]
+    next_asn = 60000
+    next_rank = 300
+    for position in range(n_tail):
+        share = (
+            mid_weights[position] * mid_scale
+            if position < 90
+            else far_weights[position - 90] * far_scale
+        )
+        country = rng.choices(countries, weights)[0]
+        info = AsInfo(next_asn + position, next_rank + position * 3,
+                      f"SYNTH-AS-{next_asn + position}, {country}")
+        table.append((info, country, share))
+    return table
+
+
+def _synth_ip(rng: random.Random, used: set[str]) -> str:
+    while True:
+        ip = "%d.%d.%d.%d" % (
+            rng.randrange(1, 224), rng.randrange(256),
+            rng.randrange(256), rng.randrange(1, 255),
+        )
+        if ip not in used:
+            used.add(ip)
+            return ip
+
+
+def _churn_model_for(country: str) -> ChurnModel:
+    median_min = CHURN_MEDIAN_MIN.get(country, DEFAULT_CHURN_MEDIAN_MIN)
+    return ChurnModel(median_session_s=median_min * 60.0)
+
+
+_AGENT_VERSIONS = [
+    ("go-ipfs/0.10.0", 0.38), ("go-ipfs/0.9.1", 0.22), ("go-ipfs/0.8.0", 0.15),
+    ("hydra-booster/0.7.4", 0.05), ("storm/1.0", 0.06), ("go-ipfs/0.11.0-rc1", 0.04),
+    ("other", 0.10),
+]
+
+
+def _country_sampler(rng: random.Random):
+    """Returns a zero-arg sampler of peer countries (Fig 5 targets)."""
+    countries = [c for c, _ in PEER_COUNTRY_SHARES]
+    weights = [s * _NAMED_SHARE_SCALE for _, s in PEER_COUNTRY_SHARES]
+    tail = ["X%03d" % i for i in range(N_TAIL_COUNTRIES)]
+    tail_total = 1.0 - sum(weights)
+    # Zipf-ish tail so some pseudo countries are visibly larger.
+    tail_raw = [1.0 / (i + 1) for i in range(N_TAIL_COUNTRIES)]
+    scale = tail_total / sum(tail_raw)
+    countries += tail
+    weights += [w * scale for w in tail_raw]
+
+    def sample() -> str:
+        return rng.choices(countries, weights)[0]
+
+    return sample
+
+
+def generate_population(
+    config: PopulationConfig, rng: random.Random
+) -> Population:
+    """Generate a population plus its consistent registries.
+
+    Deterministic for a given (config, RNG state). Peers get their
+    country first (Fig 5 marginals), then addresses within that
+    country's ASes; per-country IP multipliers and the mega-IP skew
+    reproduce the IP-level marginals (Table 2, Fig 7c).
+    """
+    geo = GeoIpRegistry()
+    clouds = CloudRegistry()
+    for name, _ in CLOUD_SHARES:
+        clouds.add_provider(name)
+    as_table = _build_as_table(rng, config.n_tail_ases)
+    for info, _country, _share in as_table:
+        geo.add_as(info)
+
+    # Per-country AS index (weights = the AS's global share).
+    by_country: dict[str, tuple[list[int], list[float]]] = {}
+    for info, country, share in as_table:
+        asns, weights = by_country.setdefault(country, ([], []))
+        asns.append(info.asn)
+        weights.append(share)
+    fallback_asns = [info.asn for info, _, _ in as_table[:200]]
+    fallback_weights = [share for _, _, share in as_table[:200]]
+
+    used_ips: set[str] = set()
+
+    def new_ip(country: str) -> tuple[str, int]:
+        asns, weights = by_country.get(country, (fallback_asns, fallback_weights))
+        asn = rng.choices(asns, weights)[0]
+        ip = _synth_ip(rng, used_ips)
+        geo.add_ip(ip, country, asn)
+        cloud = _sample_cloud(rng)
+        if cloud is not None:
+            clouds.add_ip(ip, cloud)
+        return ip, asn
+
+    sample_country = _country_sampler(rng)
+
+    # The ten mega IPs (Fig 7c), in fixed countries roughly matching
+    # the peer-country distribution so they do not skew Fig 5.
+    mega_by_country: dict[str, list[tuple[str, int, float]]] = {}
+    for position, country in enumerate(_MEGA_IP_COUNTRIES):
+        ip, asn = new_ip(country)
+        mega_by_country.setdefault(country, []).append(
+            (ip, asn, 1.0 / (position + 1))
+        )
+
+    shared_pool: dict[str, list[tuple[str, int]]] = {}
+    agent_names = [name for name, _ in _AGENT_VERSIONS]
+    agent_weights = [weight for _, weight in _AGENT_VERSIONS]
+
+    peers: list[PeerSpec] = []
+    for index in range(config.n_peers):
+        peer_id = PeerId.from_public_key(b"population-peer-%d" % index)
+        country = sample_country()
+        megas = mega_by_country.get(country)
+        if megas is not None and rng.random() < _mega_probability(country):
+            ips_list, asns, countries = _place_on_mega(rng, megas, country)
+        else:
+            ips_list, asns, countries = _give_addresses(
+                rng, country, new_ip, sample_country, shared_pool
+            )
+        cloud_provider = clouds.provider(ips_list[0])
+        reachability = _sample_reachability(rng, config, cloud_provider)
+        peer_class = _sample_class(rng, config, cloud_provider)
+        peers.append(
+            PeerSpec(
+                index=index,
+                peer_id=peer_id,
+                ips=tuple(ips_list),
+                country=country,
+                countries=tuple(countries),
+                asn=asns[0],
+                region=COUNTRY_REGION.get(country, Region.EU),
+                cloud_provider=cloud_provider,
+                reachability=reachability,
+                peer_class=peer_class,
+                churn_model=_churn_model_for(country),
+                agent_version=rng.choices(agent_names, agent_weights)[0],
+            )
+        )
+    return Population(peers, geo, clouds, config)
+
+
+def _mega_probability(country: str) -> float:
+    """P(live on a mega IP | country has one), tuned so the global
+    mega-hosted fraction lands near :data:`MEGA_PEER_FRACTION`.
+
+    Countries with mega IPs cover ~85 % of peers, so 0.33/0.85 ≈ 0.39.
+    """
+    return MEGA_PEER_FRACTION / 0.85
+
+
+def _place_on_mega(rng, megas, country):
+    ips_weights = [weight for _, _, weight in megas]
+    ip, asn, _ = rng.choices(megas, ips_weights)[0]
+    return [ip], [asn], [country]
+
+
+def _give_addresses(rng, country, new_ip, sample_country, shared_pool):
+    """Regular peers: 1..N addresses, mostly within their country.
+
+    The per-country multiplier (see :data:`IP_MULTIPLIER`) gives
+    address-rotating ISPs (HKT, Brazilian and Chinese carriers) more
+    IPs per peer, reconciling Fig 5 with Table 2. A small fraction of
+    primary addresses is drawn from a shared pool (university NATs,
+    small hosters), producing the 2-10-PeerID IPs below the mega tier
+    in Figure 7c.
+    """
+    multiplier = IP_MULTIPLIER.get(country, 1.0)
+    base = _sample_extra_ip_count(rng)
+    extra = min(9, round(base * multiplier + (multiplier - 1.0)))
+    pool = shared_pool.setdefault(country, [])
+    if pool and rng.random() < 0.08:
+        ip, asn = rng.choice(pool)
+    else:
+        ip, asn = new_ip(country)
+        if rng.random() < 0.05:
+            pool.append((ip, asn))
+            if len(pool) > 40:
+                pool.pop(0)
+    ips_list, asns, countries = [ip], [asn], [country]
+    # Target ~8.8 % multihomed peers overall; only regular peers (about
+    # two thirds of the population) can be, hence the 0.13 local rate.
+    multihomed = rng.random() < 0.13
+    for position in range(max(extra, 1 if multihomed else extra)):
+        other_country = country
+        if multihomed and position == 0:
+            for _ in range(4):
+                other_country = sample_country()
+                if other_country != country:
+                    break
+        ip, asn = new_ip(other_country)
+        ips_list.append(ip)
+        asns.append(asn)
+        countries.append(other_country)
+    return ips_list, asns, countries
+
+
+def _sample_extra_ip_count(rng: random.Random) -> int:
+    """Extra addresses per regular peer before the country multiplier;
+    tuned so the global average lands near :data:`MEAN_IPS_PER_PEER`."""
+    roll = rng.random()
+    if roll < 0.25:
+        return 0
+    if roll < 0.55:
+        return 1
+    if roll < 0.85:
+        return 2
+    return 3
+
+
+def _sample_cloud(rng: random.Random) -> str | None:
+    roll = rng.random()
+    cumulative = 0.0
+    for name, share in CLOUD_SHARES:
+        cumulative += share
+        if roll < cumulative:
+            return name
+    return None
+
+
+def _sample_extra_ip_count(rng: random.Random) -> int:
+    """Extra addresses per non-mega peer; mean tuned so the global
+    IP-per-peer average lands near :data:`MEAN_IPS_PER_PEER`."""
+    roll = rng.random()
+    if roll < 0.25:
+        return 0
+    if roll < 0.55:
+        return 1
+    if roll < 0.85:
+        return 2
+    return 3
+
+
+
+def _sample_reachability(
+    rng: random.Random, config: PopulationConfig, cloud: str | None
+) -> str:
+    if cloud is not None and config.cloud_always_on:
+        return "reliable" if rng.random() < 0.5 else "churning"
+    roll = rng.random()
+    if roll < config.never_reachable_fraction:
+        return "never"
+    if roll < config.never_reachable_fraction + config.reliable_fraction:
+        return "reliable"
+    return "churning"
+
+
+def _sample_class(
+    rng: random.Random, config: PopulationConfig, cloud: str | None
+) -> PeerClass:
+    if cloud is not None:
+        return PeerClass.DATACENTER
+    if rng.random() < config.slow_fraction_of_home:
+        return PeerClass.SLOW
+    return PeerClass.HOME

@@ -1,0 +1,96 @@
+"""Tests for the persistent on-disk blockstore."""
+
+import pytest
+
+from repro.blockstore.block import Block
+from repro.blockstore.filestore import FileBlockstore
+from repro.blockstore.pinning import PinningBlockstore
+from repro.errors import BlockNotFoundError, DagError
+from repro.merkledag.builder import DagBuilder
+from repro.merkledag.reader import DagReader
+from repro.multiformats.cid import make_cid
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FileBlockstore(tmp_path / "blocks")
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, store):
+        block = Block.from_data(b"persisted bytes")
+        store.put(block)
+        assert store.get(block.cid) == block
+
+    def test_missing_raises(self, store):
+        with pytest.raises(BlockNotFoundError):
+            store.get(make_cid(b"nothing"))
+
+    def test_has_delete(self, store):
+        block = Block.from_data(b"x")
+        store.put(block)
+        assert store.has(block.cid)
+        store.delete(block.cid)
+        assert not store.has(block.cid)
+        store.delete(block.cid)  # idempotent
+
+    def test_len_and_size(self, store):
+        store.put(Block.from_data(b"12345"))
+        store.put(Block.from_data(b"123"))
+        assert len(store) == 2
+        assert store.size_bytes() == 8
+
+    def test_put_idempotent(self, store):
+        block = Block.from_data(b"same")
+        store.put(block)
+        store.put(block)
+        assert len(store) == 1
+
+    def test_unverifiable_block_rejected(self, store):
+        with pytest.raises(DagError):
+            store.put(Block(make_cid(b"real"), b"forged"))
+
+    def test_cids_iteration(self, store):
+        blocks = [Block.from_data(bytes([i]) * 3) for i in range(5)]
+        for block in blocks:
+            store.put(block)
+        assert set(store.cids()) == {b.cid for b in blocks}
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        root = tmp_path / "blocks"
+        first = FileBlockstore(root)
+        data = derive_rng(1, "p").randbytes(10_000)
+        result = DagBuilder(first, chunk_size=1024).add_bytes(data)
+        # A "restart": a fresh store instance over the same directory.
+        second = FileBlockstore(root)
+        assert DagReader(second).cat(result.root) == data
+
+    def test_on_disk_corruption_detected(self, store, tmp_path):
+        block = Block.from_data(b"will be corrupted")
+        store.put(block)
+        path = store._path_for(block.cid)
+        path.write_bytes(b"bitrot")
+        with pytest.raises(DagError):
+            store.get(block.cid)
+
+    def test_sharded_layout(self, store):
+        block = Block.from_data(b"sharded")
+        store.put(block)
+        path = store._path_for(block.cid)
+        assert path.parent.name == block.cid.encode()[-2:]
+
+    def test_composes_with_pinning_and_gc(self, tmp_path):
+        backing = FileBlockstore(tmp_path / "blocks")
+        store = PinningBlockstore(backing)
+        data = derive_rng(2, "p").randbytes(5_000)
+        result = DagBuilder(store, chunk_size=512).add_bytes(data)
+        orphan = Block.from_data(b"unpinned")
+        store.put(orphan)
+        store.pin(result.root)
+        removed = store.collect_garbage()
+        assert removed >= 1
+        assert not store.has(orphan.cid)
+        assert DagReader(store).cat(result.root) == data

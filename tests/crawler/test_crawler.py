@@ -1,0 +1,197 @@
+"""Tests for the DHT crawler, uptime prober, and session extraction."""
+
+import pytest
+
+from repro.crawler.crawl import Crawler, bucket_probe_key
+from repro.crawler.prober import ProbeConfig, UptimeProber
+from repro.crawler.sessions import extract_sessions, online_intervals
+from repro.dht.keyspace import common_prefix_length, key_for_peer
+from repro.multiformats.peerid import PeerId
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimHost
+from repro.utils.rng import derive_rng
+from tests.helpers import build_world
+
+
+def attach_crawler(world, bucket_queries=8):
+    host = SimHost(
+        PeerId.from_public_key(b"crawler"),
+        region=Region.EU,
+        peer_class=PeerClass.DATACENTER,
+    )
+    world.net.register(host)
+    return Crawler(
+        world.sim, world.net, host, derive_rng(1, "crawler"),
+        bucket_queries=bucket_queries,
+    )
+
+
+class TestBucketProbeKey:
+    def test_key_lands_in_requested_bucket(self):
+        rng = derive_rng(3, "probe")
+        remote = key_for_peer(PeerId.from_public_key(b"remote"))
+        for bucket in (0, 1, 5, 17):
+            key = bucket_probe_key(remote, bucket, rng)
+            assert common_prefix_length(remote, key) == bucket
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_probe_key(b"\x00" * 32, 256, derive_rng(1, "x"))
+
+    def test_keys_are_randomized(self):
+        rng = derive_rng(4, "probe")
+        remote = key_for_peer(PeerId.from_public_key(b"remote"))
+        keys = {bucket_probe_key(remote, 3, rng) for _ in range(10)}
+        assert len(keys) > 1
+
+
+class TestCrawl:
+    def test_full_sweep_discovers_most_servers(self):
+        world = build_world(n=60, seed=50)
+        crawler = attach_crawler(world)
+        bootstrap = [world.node(i).host.peer_id for i in range(4)]
+
+        def proc():
+            return (yield from crawler.crawl(bootstrap))
+
+        result = world.sim.run_process(proc())
+        assert len(result.peers_seen) > 0.8 * len(world.nodes)
+        assert result.duration > 0
+        assert result.rpcs_sent > 0
+
+    def test_offline_peers_reported_undialable(self):
+        world = build_world(n=60, seed=51, offline_fraction=0.4)
+        crawler = attach_crawler(world)
+        bootstrap = [world.node(0).host.peer_id]
+
+        def proc():
+            return (yield from crawler.crawl(bootstrap))
+
+        result = world.sim.run_process(proc())
+        assert result.undialable
+        assert 0.1 < 1 - result.dialable_fraction < 0.7
+        # Sanity: the undialable ones truly were offline.
+        for peer_id in list(result.undialable)[:10]:
+            assert not world.net.hosts[peer_id].reachable
+
+    def test_agent_versions_collected(self):
+        world = build_world(n=30, seed=52)
+        for node in world.nodes:
+            node.host.agent_version = "go-ipfs/0.10.0"
+        crawler = attach_crawler(world)
+
+        def proc():
+            return (yield from crawler.crawl([world.node(0).host.peer_id]))
+
+        result = world.sim.run_process(proc())
+        assert set(result.agent_versions.values()) == {"go-ipfs/0.10.0"}
+
+    def test_crawler_disconnects_after_visits(self):
+        world = build_world(n=30, seed=53)
+        crawler = attach_crawler(world)
+
+        def proc():
+            return (yield from crawler.crawl([world.node(0).host.peer_id]))
+
+        world.sim.run_process(proc())
+        assert crawler.host.connected_peers() == []
+
+    def test_empty_bootstrap_finds_nothing(self):
+        world = build_world(n=10, seed=54)
+        crawler = attach_crawler(world)
+
+        def proc():
+            return (yield from crawler.crawl([]))
+
+        result = world.sim.run_process(proc())
+        assert result.peers_seen == set()
+
+
+class TestProber:
+    def _probe_world(self, seed=60):
+        world = build_world(n=10, seed=seed)
+        host = SimHost(PeerId.from_public_key(b"prober"), region=Region.EU)
+        world.net.register(host)
+        prober = UptimeProber(world.sim, world.net, host, ProbeConfig())
+        return world, prober
+
+    def test_observes_state_changes(self):
+        world, prober = self._probe_world()
+        target = world.node(3).host
+        prober.watch([target.peer_id])
+        world.sim.schedule(300.0, lambda: target.set_online(False))
+        world.sim.schedule(900.0, lambda: target.set_online(True))
+        world.sim.run(until=1800.0)
+        prober.stop()
+        states = [online for _, online in prober.timelines[target.peer_id].observations]
+        assert True in states and False in states
+
+    def test_interval_adapts_to_uptime(self):
+        world, prober = self._probe_world(seed=61)
+        target = world.node(0).host
+        prober.watch([target.peer_id])
+        world.sim.run(until=3 * 3600.0)
+        prober.stop()
+        times = [t for t, _ in prober.timelines[target.peer_id].observations]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Early probes every 30 s; once uptime accumulates, the
+        # interval grows and clamps at 15 min.
+        assert min(gaps) == pytest.approx(30.0)
+        assert max(gaps) == pytest.approx(15 * 60.0)
+
+    def test_watch_is_idempotent(self):
+        world, prober = self._probe_world(seed=62)
+        peer = world.node(0).host.peer_id
+        prober.watch([peer])
+        prober.watch([peer])
+        assert len(prober.timelines) == 1
+
+    def test_probe_via_dial_mode(self):
+        world, prober = self._probe_world(seed=63)
+        prober.config = ProbeConfig(probe_via_dial=True)
+        online = world.node(1).host
+        offline = world.node(2).host
+        offline.set_online(False)
+        prober.watch([online.peer_id, offline.peer_id])
+        world.sim.run(until=120.0)
+        prober.stop()
+        assert prober.timelines[online.peer_id].observations[0][1] is True
+        assert prober.timelines[offline.peer_id].observations[0][1] is False
+
+
+class TestSessionExtraction:
+    def _timeline(self, peer, observations):
+        from repro.crawler.prober import PeerTimeline
+
+        timeline = PeerTimeline(peer)
+        timeline.observations = observations
+        return timeline
+
+    def test_sessions_split_on_offline(self):
+        peer = PeerId.from_public_key(b"p")
+        timeline = self._timeline(
+            peer,
+            [(0, True), (60, True), (120, False), (180, True), (240, False)],
+        )
+        sessions = extract_sessions({peer: timeline}, {peer: "US"}, window_end=300)
+        assert [(s.start, s.end) for s in sessions] == [(0, 60), (180, 180)]
+        assert all(s.group == "US" for s in sessions)
+
+    def test_open_session_truncated_at_window(self):
+        peer = PeerId.from_public_key(b"p")
+        timeline = self._timeline(peer, [(0, True), (100, True)])
+        sessions = extract_sessions({peer: timeline}, {peer: "DE"}, window_end=500)
+        assert sessions[0].end == 500
+
+    def test_online_intervals(self):
+        peer = PeerId.from_public_key(b"p")
+        timeline = self._timeline(
+            peer, [(0, True), (50, True), (100, False), (200, True)]
+        )
+        intervals = online_intervals({peer: timeline}, window_end=300)
+        assert intervals[peer] == [(0, 50), (200, 300)]
+
+    def test_never_online_peer_has_no_sessions(self):
+        peer = PeerId.from_public_key(b"p")
+        timeline = self._timeline(peer, [(0, False), (60, False)])
+        assert extract_sessions({peer: timeline}, {}, window_end=100) == []

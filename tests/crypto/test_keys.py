@@ -1,0 +1,81 @@
+"""Tests for the simulation-grade Schnorr signature scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.errors import CryptoError
+from repro.utils.rng import rng_from_seed
+
+
+@pytest.fixture(scope="module")
+def keypair() -> KeyPair:
+    return generate_keypair(rng_from_seed(12345))
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, keypair):
+        sig = keypair.sign(b"message")
+        assert keypair.verify(b"message", sig)
+
+    def test_tampered_message_rejected(self, keypair):
+        sig = keypair.sign(b"message")
+        assert not keypair.verify(b"messagE", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(keypair.sign(b"message"))
+        sig[0] ^= 0x01
+        assert not keypair.verify(b"message", bytes(sig))
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_keypair(rng_from_seed(999))
+        sig = keypair.sign(b"message")
+        assert not other.verify(b"message", sig)
+
+    def test_signature_is_64_bytes(self, keypair):
+        assert len(keypair.sign(b"m")) == 64
+
+    def test_signing_is_deterministic(self, keypair):
+        assert keypair.sign(b"m") == keypair.sign(b"m")
+
+    def test_empty_message(self, keypair):
+        assert keypair.verify(b"", keypair.sign(b""))
+
+    def test_malformed_signature_length(self, keypair):
+        assert not keypair.verify(b"m", b"\x00" * 10)
+
+    @settings(max_examples=20)
+    @given(st.binary(max_size=128))
+    def test_roundtrip_property(self, keypair, message):
+        assert keypair.verify(message, keypair.sign(message))
+
+
+class TestKeySerialization:
+    def test_public_key_roundtrip(self, keypair):
+        data = keypair.public.to_bytes()
+        assert len(data) == 32
+        assert PublicKey.from_bytes(data) == keypair.public
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CryptoError):
+            PublicKey.from_bytes(b"\x01")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CryptoError):
+            PublicKey.from_bytes(b"\xff" * 32)
+
+
+class TestPeerIdBinding:
+    def test_peer_id_matches_public_key(self, keypair):
+        assert keypair.peer_id.matches_public_key(keypair.public.to_bytes())
+
+    def test_generation_is_seed_deterministic(self):
+        a = generate_keypair(rng_from_seed(7))
+        b = generate_keypair(rng_from_seed(7))
+        assert a.peer_id == b.peer_id
+
+    def test_distinct_seeds_distinct_peers(self):
+        assert generate_keypair(rng_from_seed(1)).peer_id != generate_keypair(
+            rng_from_seed(2)
+        ).peer_id

@@ -1,0 +1,91 @@
+"""Tests for the 256-bit XOR keyspace."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.keyspace import (
+    KEY_BITS,
+    bucket_index,
+    common_prefix_length,
+    key_for_cid,
+    key_for_peer,
+    xor_distance,
+)
+from repro.multiformats.cid import make_cid
+from repro.multiformats.peerid import PeerId
+
+_KEY = st.binary(min_size=32, max_size=32)
+
+
+def test_keys_are_256_bits():
+    assert KEY_BITS == 256
+    assert len(key_for_cid(make_cid(b"x"))) == 32
+    assert len(key_for_peer(PeerId.from_public_key(b"x"))) == 32
+
+
+def test_cids_and_peers_share_keyspace():
+    # Section 2.3: CIDs and PeerIDs use SHA256 of their binary forms.
+    import hashlib
+
+    cid = make_cid(b"content")
+    assert key_for_cid(cid) == hashlib.sha256(cid.encode_binary()).digest()
+
+
+def test_distance_to_self_is_zero():
+    key = key_for_cid(make_cid(b"x"))
+    assert xor_distance(key, key) == 0
+
+
+def test_distance_symmetry():
+    a = key_for_cid(make_cid(b"a"))
+    b = key_for_cid(make_cid(b"b"))
+    assert xor_distance(a, b) == xor_distance(b, a)
+
+
+@given(_KEY, _KEY, _KEY)
+def test_xor_metric_triangle_inequality(a, b, c):
+    # XOR satisfies d(a,c) <= d(a,b) + d(b,c) (it is a metric).
+    assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+
+@given(_KEY, _KEY)
+def test_distance_zero_iff_equal(a, b):
+    assert (xor_distance(a, b) == 0) == (a == b)
+
+
+def test_wrong_key_length_rejected():
+    with pytest.raises(ValueError):
+        xor_distance(b"\x00" * 31, b"\x00" * 32)
+
+
+class TestCommonPrefix:
+    def test_identical_keys(self):
+        key = b"\xaa" * 32
+        assert common_prefix_length(key, key) == 256
+
+    def test_first_bit_differs(self):
+        assert common_prefix_length(b"\x00" * 32, b"\x80" + b"\x00" * 31) == 0
+
+    def test_known_prefix(self):
+        a = b"\xf0" + b"\x00" * 31
+        b = b"\xf8" + b"\x00" * 31
+        assert common_prefix_length(a, b) == 4
+
+    @given(_KEY, _KEY)
+    def test_prefix_matches_manual_bits(self, a, b):
+        cpl = common_prefix_length(a, b)
+        bits_a = bin(int.from_bytes(a, "big"))[2:].zfill(256)
+        bits_b = bin(int.from_bytes(b, "big"))[2:].zfill(256)
+        manual = 0
+        for x, y in zip(bits_a, bits_b):
+            if x != y:
+                break
+            manual += 1
+        assert cpl == manual
+
+
+def test_bucket_index_clamped():
+    key = b"\x42" * 32
+    assert bucket_index(key, key) == 255  # self maps to the last bucket
+    assert bucket_index(b"\x00" * 32, b"\x80" + b"\x00" * 31) == 0

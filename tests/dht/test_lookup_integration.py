@@ -1,0 +1,296 @@
+"""Integration tests: iterative walks, publication and retrieval over
+a simulated network."""
+
+import pytest
+
+from repro.dht.keyspace import key_for_cid, key_for_peer, xor_distance
+from repro.dht.records import PeerRecord
+from repro.multiformats.cid import make_cid
+from repro.multiformats.multiaddr import Multiaddr
+from tests.helpers import build_world
+
+
+class TestClosestWalk:
+    def test_finds_the_true_closest_peers(self):
+        world = build_world(n=80, seed=2)
+        cid = make_cid(b"target content")
+        key = key_for_cid(cid)
+
+        def proc():
+            peers, stats = yield from world.node(0).walk_closest(key)
+            return peers, stats
+
+        peers, stats = world.sim.run_process(proc())
+        assert len(peers) == 20
+        # Ground truth: globally closest 20 server peers.
+        truth = sorted(
+            (n.host.peer_id for n in world.nodes),
+            key=lambda p: xor_distance(key_for_peer(p), key),
+        )[:20]
+        overlap = len(set(peers) & set(truth))
+        assert overlap >= 18  # near-perfect convergence
+
+    def test_walk_reports_stats(self):
+        world = build_world(n=60, seed=3)
+
+        def proc():
+            return (yield from world.node(0).walk_closest(key_for_cid(make_cid(b"x"))))
+
+        _, stats = world.sim.run_process(proc())
+        assert stats.rpcs_sent > 0
+        assert stats.rpcs_ok > 0
+        assert stats.hops >= 1
+
+    def test_walk_with_unreachable_peers_still_converges(self):
+        world = build_world(n=80, seed=4, offline_fraction=0.4)
+
+        def proc():
+            return (yield from world.node(0).walk_closest(key_for_cid(make_cid(b"y"))))
+
+        peers, stats = world.sim.run_process(proc())
+        assert peers  # converged despite 40 % dead entries
+        assert stats.rpcs_failed > 0  # and it did hit some of them
+
+    def test_dead_peers_are_evicted_from_routing_table(self):
+        world = build_world(n=60, seed=5, offline_fraction=0.5)
+        node = world.node(0)
+        before = len(node.routing_table)
+
+        def proc():
+            return (yield from node.walk_closest(key_for_cid(make_cid(b"z"))))
+
+        world.sim.run_process(proc())
+        assert len(node.routing_table) < before
+
+    def test_empty_routing_table_returns_nothing(self):
+        world = build_world(n=5, seed=6, populate=False)
+
+        def proc():
+            return (yield from world.node(0).walk_closest(key_for_cid(make_cid(b"q"))))
+
+        peers, stats = world.sim.run_process(proc())
+        assert peers == []
+        assert stats.exhausted
+
+
+class TestProvide:
+    def test_records_stored_on_closest_peers(self):
+        world = build_world(n=80, seed=7)
+        cid = make_cid(b"published content")
+        publisher = world.node(0)
+
+        def proc():
+            return (yield from publisher.provide(cid))
+
+        result = world.sim.run_process(proc())
+        assert result["peers_stored"] == 20
+        # The stored peers actually hold the record.
+        key = key_for_cid(cid)
+        holders = [
+            node
+            for node in world.nodes
+            if node.provider_store.providers_for(cid, world.sim.now)
+        ]
+        assert len(holders) == 20
+        # And they are genuinely close to the key.
+        truth = sorted(
+            (n.host.peer_id for n in world.nodes),
+            key=lambda p: xor_distance(key_for_peer(p), key),
+        )[:20]
+        holder_ids = {n.host.peer_id for n in holders}
+        assert len(holder_ids & set(truth)) >= 18
+
+    def test_walk_dominates_publication_delay(self):
+        # Section 6.1: the DHT walk covers ~88 % of publication delay.
+        world = build_world(n=100, seed=8, offline_fraction=0.3)
+
+        def proc():
+            return (yield from world.node(0).provide(make_cid(b"content")))
+
+        result = world.sim.run_process(proc())
+        assert result["walk_duration"] > result["rpc_batch_duration"]
+        assert result["total_duration"] == pytest.approx(
+            result["walk_duration"] + result["rpc_batch_duration"], abs=1e-6
+        )
+
+    def test_fire_and_forget_tolerates_failures(self):
+        # Peers that churn offline right before the RPC batch do not
+        # abort publication.
+        world = build_world(n=80, seed=9)
+        cid = make_cid(b"flaky world content")
+        publisher = world.node(0)
+
+        def proc():
+            key = key_for_cid(cid)
+            closest, _ = yield from publisher.walk_closest(key)
+            # Knock half of the record holders offline.
+            for peer_id in closest[::2]:
+                world.net.hosts[peer_id].set_online(False)
+            return (yield from publisher.provide(cid))
+
+        result = world.sim.run_process(proc())
+        # Publication completes despite the blackout: some records land
+        # (on the survivors the re-walk finds) and nothing raises.
+        assert result["peers_stored"] > 0
+        assert result["peers_stored"] <= result["peers_targeted"] <= 20
+
+
+class TestFindProviders:
+    def _published_world(self, seed=10, **kwargs):
+        world = build_world(n=80, seed=seed, **kwargs)
+        cid = make_cid(b"retrievable content %d" % seed)
+
+        def proc():
+            return (yield from world.node(0).provide(cid))
+
+        world.sim.run_process(proc())
+        return world, cid
+
+    def test_retrieval_finds_provider(self):
+        world, cid = self._published_world()
+        requester = world.node(37)
+
+        def proc():
+            return (yield from requester.find_providers(cid))
+
+        records, stats = world.sim.run_process(proc())
+        assert [r.provider for r in records] == [world.node(0).host.peer_id]
+
+    def test_provider_walk_faster_than_publication_walk(self):
+        # Section 6.2: a retrieval walk terminates on the first record
+        # holder rather than querying all 20 closest.
+        world, cid = self._published_world(seed=11)
+        start = world.sim.now
+
+        def retrieve():
+            return (yield from world.node(41).find_providers(cid))
+
+        _, retrieval_stats = world.sim.run_process(retrieve())
+        retrieval_time = world.sim.now - start
+
+        world2 = build_world(n=80, seed=11)
+        start2 = world2.sim.now
+
+        def publish_walk():
+            return (yield from world2.node(41).walk_closest(key_for_cid(cid)))
+
+        world2.sim.run_process(publish_walk())
+        publication_walk_time = world2.sim.now - start2
+        assert retrieval_time < publication_walk_time
+
+    def test_missing_content_exhausts(self):
+        world = build_world(n=50, seed=12)
+
+        def proc():
+            return (yield from world.node(3).find_providers(make_cid(b"never published")))
+
+        records, stats = world.sim.run_process(proc())
+        assert records == []
+        assert stats.exhausted
+
+    def test_multiple_providers_found(self):
+        world = build_world(n=80, seed=13)
+        cid = make_cid(b"popular content")
+
+        def publish_all():
+            for index in (0, 1, 2):
+                yield from world.node(index).provide(cid)
+
+        world.sim.run_process(publish_all())
+
+        def proc():
+            return (yield from world.node(50).find_providers(cid, max_providers=3))
+
+        records, _ = world.sim.run_process(proc())
+        assert len(records) == 3
+
+
+class TestFindPeer:
+    def test_peer_record_resolution(self):
+        world = build_world(n=60, seed=14)
+        target = world.node(7)
+        addr = Multiaddr.parse("/ip4/1.2.3.4/tcp/4001")
+
+        def publish():
+            return (yield from target.publish_peer_record((addr,)))
+
+        world.sim.run_process(publish())
+
+        def resolve():
+            return (yield from world.node(30).find_peer(target.host.peer_id))
+
+        record, stats = world.sim.run_process(resolve())
+        assert record is not None
+        assert record.peer_id == target.host.peer_id
+        assert record.addresses == (addr,)
+
+    def test_unknown_peer_returns_none(self):
+        world = build_world(n=40, seed=15)
+        from repro.multiformats.peerid import PeerId
+
+        def resolve():
+            return (yield from world.node(0).find_peer(PeerId.from_public_key(b"ghost")))
+
+        record, stats = world.sim.run_process(resolve())
+        assert record is None
+        assert stats.exhausted
+
+
+class TestClientServerMode:
+    def test_clients_never_in_routing_tables(self):
+        world = build_world(n=60, seed=16, client_fraction=0.3)
+        client_ids = {n.host.peer_id for n in world.nodes if not n.server}
+        assert client_ids  # the world does have clients
+        for node in world.nodes:
+            assert not client_ids & set(node.routing_table.peers())
+
+    def test_client_can_still_retrieve(self):
+        world = build_world(n=80, seed=17, client_fraction=0.25)
+        cid = make_cid(b"content for clients")
+
+        def publish():
+            server = next(n for n in world.nodes if n.server)
+            return (yield from server.provide(cid))
+
+        world.sim.run_process(publish())
+        client = next(n for n in world.nodes if not n.server)
+        client.host.online = True
+
+        def retrieve():
+            return (yield from client.find_providers(cid))
+
+        records, _ = world.sim.run_process(retrieve())
+        assert records
+
+    def test_client_hosts_have_no_dht_handlers(self):
+        world = build_world(n=30, seed=18, client_fraction=0.5)
+        client = next(n for n in world.nodes if not n.server)
+        from repro.dht import rpc
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            client.host.handler_for(rpc.FIND_NODE)
+
+
+class TestOrganicJoin:
+    def test_join_populates_routing_table(self):
+        from repro.dht.bootstrap import join_network
+
+        world = build_world(n=60, seed=19)
+        # A brand-new node arrives knowing only the bootstrap peers.
+        from repro.dht.dht_node import DhtNode
+        from repro.multiformats.peerid import PeerId
+        from repro.simnet.network import SimHost
+        from repro.utils.rng import derive_rng
+
+        host = SimHost(PeerId.from_public_key(b"newcomer"))
+        world.net.register(host)
+        newcomer = DhtNode(world.sim, world.net, host, derive_rng(19, "new"))
+        seeds = [world.node(i).host.peer_id for i in range(6)]
+
+        def proc():
+            return (yield from join_network(newcomer, seeds))
+
+        stats = world.sim.run_process(proc())
+        assert len(newcomer.routing_table) > 6  # discovered beyond the seeds
+        assert stats.rpcs_ok > 0

@@ -1,0 +1,113 @@
+"""Tests for provider/peer records and their stores."""
+
+from repro.dht.provider_store import PeerRecordStore, ProviderStore
+from repro.dht.records import (
+    EXPIRY_INTERVAL_S,
+    REPUBLISH_INTERVAL_S,
+    PeerRecord,
+    ProviderRecord,
+)
+from repro.multiformats.cid import make_cid
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+
+
+def pid(n: int) -> PeerId:
+    return PeerId.from_public_key(b"p%d" % n)
+
+
+def test_paper_intervals():
+    # Section 3.1: republish 12 h, expiry 24 h.
+    assert REPUBLISH_INTERVAL_S == 12 * 3600
+    assert EXPIRY_INTERVAL_S == 24 * 3600
+
+
+class TestProviderRecord:
+    def test_expiry(self):
+        record = ProviderRecord(make_cid(b"x"), pid(1), published_at=100.0)
+        assert not record.is_expired(now=100.0 + EXPIRY_INTERVAL_S - 1)
+        assert record.is_expired(now=100.0 + EXPIRY_INTERVAL_S)
+
+    def test_expires_at(self):
+        record = ProviderRecord(make_cid(b"x"), pid(1), published_at=0.0)
+        assert record.expires_at() == EXPIRY_INTERVAL_S
+
+
+class TestProviderStore:
+    def test_add_and_fetch(self):
+        store = ProviderStore()
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 0.0))
+        assert [r.provider for r in store.providers_for(cid, now=10.0)] == [pid(1)]
+
+    def test_multiple_providers(self):
+        store = ProviderStore()
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 0.0))
+        store.add(ProviderRecord(cid, pid(2), 0.0))
+        assert len(store.providers_for(cid, now=1.0)) == 2
+
+    def test_republish_refreshes(self):
+        store = ProviderStore()
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 0.0))
+        store.add(ProviderRecord(cid, pid(1), REPUBLISH_INTERVAL_S))
+        records = store.providers_for(cid, now=EXPIRY_INTERVAL_S + 1)
+        assert len(records) == 1  # survived thanks to the republish
+
+    def test_stale_publish_does_not_regress(self):
+        store = ProviderStore()
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 100.0))
+        store.add(ProviderRecord(cid, pid(1), 50.0))  # older duplicate
+        assert store.providers_for(cid, now=120.0)[0].published_at == 100.0
+
+    def test_expired_records_dropped(self):
+        store = ProviderStore()
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 0.0))
+        assert store.providers_for(cid, now=EXPIRY_INTERVAL_S + 1) == []
+        assert store.record_count() == 0
+
+    def test_unknown_cid(self):
+        assert ProviderStore().providers_for(make_cid(b"?"), now=0.0) == []
+
+    def test_sweep(self):
+        store = ProviderStore()
+        store.add(ProviderRecord(make_cid(b"a"), pid(1), 0.0))
+        store.add(ProviderRecord(make_cid(b"b"), pid(2), 1000.0))
+        removed = store.sweep(now=EXPIRY_INTERVAL_S + 1)
+        assert removed == 1
+        assert store.record_count() == 1
+
+    def test_custom_expiry_interval(self):
+        store = ProviderStore(expiry_interval=10.0)
+        cid = make_cid(b"x")
+        store.add(ProviderRecord(cid, pid(1), 0.0))
+        assert store.providers_for(cid, now=11.0) == []
+
+
+class TestPeerRecordStore:
+    def _record(self, n: int, when: float = 0.0) -> PeerRecord:
+        addr = Multiaddr.parse("/ip4/10.0.0.%d/tcp/4001" % (n % 250 + 1))
+        return PeerRecord(pid(n), (addr,), when)
+
+    def test_put_get(self):
+        store = PeerRecordStore()
+        store.put(self._record(1))
+        assert store.get(pid(1), now=10.0).peer_id == pid(1)
+
+    def test_get_missing(self):
+        assert PeerRecordStore().get(pid(9), now=0.0) is None
+
+    def test_expiry(self):
+        store = PeerRecordStore()
+        store.put(self._record(1, when=0.0))
+        assert store.get(pid(1), now=EXPIRY_INTERVAL_S + 1) is None
+        assert store.record_count() == 0
+
+    def test_newer_record_wins(self):
+        store = PeerRecordStore()
+        store.put(self._record(1, when=100.0))
+        store.put(self._record(1, when=50.0))
+        assert store.get(pid(1), now=110.0).published_at == 100.0

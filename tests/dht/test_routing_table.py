@@ -1,0 +1,118 @@
+"""Tests for the k-bucket routing table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.keyspace import key_for_peer, xor_distance
+from repro.dht.routing_table import K_BUCKET_SIZE, RoutingTable
+from repro.multiformats.peerid import PeerId
+
+
+def pid(n: int) -> PeerId:
+    return PeerId.from_public_key(b"peer-%d" % n)
+
+
+def test_k_is_20():
+    # Section 2.3: "we maintain i=256 buckets of k-nodes each (where k=20)".
+    assert K_BUCKET_SIZE == 20
+
+
+def test_add_and_contains():
+    table = RoutingTable(pid(0))
+    assert table.add(pid(1))
+    assert pid(1) in table
+    assert len(table) == 1
+
+
+def test_self_never_added():
+    table = RoutingTable(pid(0))
+    assert not table.add(pid(0))
+    assert pid(0) not in table
+
+
+def test_refresh_is_idempotent():
+    table = RoutingTable(pid(0))
+    table.add(pid(1))
+    assert table.add(pid(1))
+    assert len(table) == 1
+
+
+def test_remove():
+    table = RoutingTable(pid(0))
+    table.add(pid(1))
+    table.remove(pid(1))
+    assert pid(1) not in table
+    assert len(table) == 0
+    table.remove(pid(1))  # no error
+
+
+def test_bucket_capacity_enforced():
+    table = RoutingTable(pid(0), bucket_size=3)
+    added = sum(1 for n in range(1, 200) if table.add(pid(n)))
+    sizes = table.bucket_sizes()
+    assert all(size <= 3 for size in sizes.values())
+    assert added == len(table)
+
+
+def test_full_bucket_rejects_newcomer():
+    table = RoutingTable(pid(0), bucket_size=2)
+    # Find three peers that land in the same bucket.
+    own_key = key_for_peer(pid(0))
+    from repro.dht.keyspace import bucket_index
+
+    by_bucket: dict[int, list[PeerId]] = {}
+    for n in range(1, 500):
+        bucket = bucket_index(own_key, key_for_peer(pid(n)))
+        group = by_bucket.setdefault(bucket, [])
+        group.append(pid(n))
+        if len(group) == 3:
+            a, b, c = group
+            break
+    assert table.add(a) and table.add(b)
+    assert not table.add(c)
+    assert c not in table
+
+
+def test_closest_returns_sorted_by_xor():
+    table = RoutingTable(pid(0))
+    target = key_for_peer(pid(9999))
+    for n in range(1, 100):
+        table.add(pid(n))
+    closest = table.closest(target, 10)
+    distances = [xor_distance(key_for_peer(p), target) for p in closest]
+    assert distances == sorted(distances)
+    # And they truly are the minimum over the whole table.
+    all_distances = sorted(
+        xor_distance(key_for_peer(p), target) for p in table.peers()
+    )
+    assert distances == all_distances[:10]
+
+
+def test_closest_handles_small_table():
+    table = RoutingTable(pid(0))
+    table.add(pid(1))
+    assert table.closest(key_for_peer(pid(2)), 20) == [pid(1)]
+
+
+def test_closest_on_empty_table():
+    assert RoutingTable(pid(0)).closest(key_for_peer(pid(1))) == []
+
+
+def test_peers_lists_everything():
+    table = RoutingTable(pid(0))
+    for n in range(1, 30):
+        table.add(pid(n))
+    assert set(table.peers()) == {pid(n) for n in range(1, 30)} & set(table.peers())
+    assert len(table.peers()) == len(table)
+
+
+@settings(max_examples=20)
+@given(st.sets(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=60))
+def test_closest_is_exact_property(ns):
+    table = RoutingTable(pid(0), bucket_size=100)
+    for n in ns:
+        table.add(pid(n))
+    target = key_for_peer(pid(123456))
+    got = table.closest(target, 5)
+    expected = sorted(table.peers(), key=lambda p: xor_distance(key_for_peer(p), target))[:5]
+    assert got == expected

@@ -1,0 +1,121 @@
+"""Integration tests for the deployment and gateway experiments."""
+
+import pytest
+
+from repro.experiments.deployment import (
+    CrawlCampaignConfig,
+    analyze_population,
+    observed_reliability,
+    run_crawl_timeseries,
+)
+from repro.experiments.gateway_exp import (
+    GatewayExperimentConfig,
+    run_gateway_experiment,
+)
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.gateway.logs import CacheTier
+from repro.utils.rng import derive_rng
+from repro.workloads.gateway_trace import GatewayTraceConfig
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    population = generate_population(
+        PopulationConfig(n_peers=150), derive_rng(80, "dep-pop")
+    )
+    scenario = build_scenario(population, ScenarioConfig(seed=80))
+    config = CrawlCampaignConfig(
+        crawl_interval_s=1800.0, duration_s=2 * 3600.0, bucket_queries=6
+    )
+    return scenario, run_crawl_timeseries(scenario, config)
+
+
+class TestCrawlCampaign:
+    def test_multiple_crawls_completed(self, campaign):
+        _, results = campaign
+        assert len(results.crawls) >= 3
+
+    def test_timeseries_consistent(self, campaign):
+        _, results = campaign
+        for start, total, dialable, undialable in results.timeseries():
+            assert total == dialable + undialable
+            assert total > 0
+
+    def test_sessions_extracted(self, campaign):
+        _, results = campaign
+        assert results.sessions
+        for session in results.sessions[:50]:
+            assert session.length >= 0
+
+    def test_uptime_fractions_bounded(self, campaign):
+        _, results = campaign
+        assert results.uptime_by_peer
+        assert all(0 <= u <= 1.0 + 1e-9 for u in results.uptime_by_peer.values())
+
+    def test_reliability_split(self, campaign):
+        _, results = campaign
+        reliable, intermittent, never = observed_reliability(results)
+        assert reliable | intermittent | never == set(results.uptime_by_peer)
+
+    def test_churn_summary(self, campaign):
+        _, results = campaign
+        summary = results.churn_summary()
+        assert summary.session_count == len(results.sessions)
+        assert summary.median_s > 0
+
+
+class TestPopulationAnalysis:
+    def test_analysis_fields(self):
+        population = generate_population(
+            PopulationConfig(n_peers=3000), derive_rng(81, "ana-pop")
+        )
+        analysis = analyze_population(population)
+        assert analysis.country_shares
+        assert analysis.as_rows[0].share > 0.1
+        assert 0 < analysis.top10_as_share <= 1
+        assert analysis.non_cloud.share > 0.9
+        assert sum(analysis.reliable_by_country.values()) < 0.05
+        assert 0.2 < sum(analysis.never_by_country.values()) < 0.45
+
+
+class TestGatewayExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_gateway_experiment(
+            GatewayExperimentConfig(trace=GatewayTraceConfig(scale=500))
+        )
+
+    def test_log_covers_trace(self, results):
+        assert len(results.log) == len(results.trace.requests)
+
+    def test_tier_shares_sum_to_one(self, results):
+        rows = results.tier_table()
+        assert sum(row.request_share for row in rows) == pytest.approx(1.0)
+        assert sum(row.traffic_share for row in rows) == pytest.approx(1.0)
+
+    def test_latency_ordering(self, results):
+        rows = {row.tier: row for row in results.tier_table()}
+        assert rows[CacheTier.NGINX].median_latency == 0.0
+        assert rows[CacheTier.NODE_STORE].median_latency < 0.024
+        assert rows[CacheTier.NON_CACHED].median_latency > 1.0
+
+    def test_combined_hit_rate_high(self, results):
+        assert results.combined_hit_rate() > 0.6
+
+    def test_user_shares_us_led(self, results):
+        shares = results.user_country_shares()
+        assert list(shares)[0] == "US"
+
+    def test_series_cover_day(self, results):
+        series = results.request_series(3600.0)
+        assert len(series) >= 20  # nearly every hour busy
+
+    def test_correlation_small(self, results):
+        assert abs(results.size_latency_correlation()) < 0.4
+
+    def test_usage_summary(self, results):
+        usage = results.usage_summary()
+        assert usage["requests"] == len(results.log)
+        assert usage["users"] > 0
+        assert usage["bytes"] > 0

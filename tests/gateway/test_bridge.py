@@ -1,0 +1,136 @@
+"""Integration tests: the gateway bridge over a live simulated network."""
+
+import pytest
+
+from repro.dht.bootstrap import populate_routing_tables
+from repro.errors import RetrievalError
+from repro.gateway.bridge import GatewayBridge
+from repro.gateway.logs import CacheTier
+from repro.merkledag.unixfs import Directory, import_file
+from repro.node.host import IpfsNode
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(93, "net"))
+    rng = derive_rng(93, "world")
+    bridge_node = IpfsNode(
+        sim, net, derive_rng(93, "gwnode"), region=Region.NA_WEST,
+        peer_class=PeerClass.DATACENTER,
+    )
+    publisher = IpfsNode(sim, net, derive_rng(93, "pub"), region=Region.EU)
+    backdrop = [
+        IpfsNode(sim, net, derive_rng(93, "bg", str(i)),
+                 region=rng.choice(list(Region)))
+        for i in range(50)
+    ]
+    populate_routing_tables(
+        [n.dht for n in [bridge_node, publisher, *backdrop]], rng
+    )
+    bridge = GatewayBridge(bridge_node, cache_capacity_bytes=10_000_000)
+    data = derive_rng(93, "content").randbytes(400_000)
+
+    def publish():
+        yield from publisher.publish_peer_record()
+        root, _ = yield from publisher.add_and_publish(data)
+        return root
+
+    root = sim.run_process(publish())
+    return sim, bridge, publisher, root, data
+
+
+class TestBridgedGets:
+    def test_first_get_is_a_full_retrieval(self, world):
+        sim, bridge, publisher, root, data = world
+        bridge.node.disconnect_all()
+
+        def proc():
+            return (yield from bridge.get(root))
+
+        response = sim.run_process(proc())
+        assert response.tier == CacheTier.NON_CACHED
+        assert response.latency > 1.0  # paid the Bitswap window + walks
+        assert response.size == len(data)
+
+    def test_second_get_hits_nginx(self, world):
+        sim, bridge, publisher, root, data = world
+
+        def proc():
+            yield from bridge.get(root)
+            return (yield from bridge.get(root))
+
+        response = sim.run_process(proc())
+        assert response.tier == CacheTier.NGINX
+        assert response.latency == 0.0
+
+    def test_pinned_content_served_from_node_store(self, world):
+        sim, bridge, publisher, root, data = world
+        leaf = import_file(bridge.node.blockstore, b"pinned by web3.storage")
+        bridge.pin(leaf)
+
+        def proc():
+            return (yield from bridge.get(leaf))
+
+        response = sim.run_process(proc())
+        assert response.tier == CacheTier.NODE_STORE
+        assert response.latency < 0.024
+
+    def test_log_records_every_get(self, world):
+        sim, bridge, publisher, root, data = world
+
+        def proc():
+            yield from bridge.get(root)
+            yield from bridge.get(root)
+
+        sim.run_process(proc())
+        assert len(bridge.log) == 2
+        assert bridge.log[0].tier == CacheTier.NON_CACHED
+        assert bridge.log[1].tier == CacheTier.NGINX
+
+
+class TestPathGets:
+    def test_path_resolution_over_the_network(self, world):
+        sim, bridge, publisher, root, data = world
+        # The publisher assembles a directory around the content.
+        inner = import_file(publisher.blockstore, b"hello file")
+        directory = Directory(publisher.blockstore)
+        dir_cid = directory.build({"file.txt": inner, "big.bin": root})
+        publisher.blockstore.pin(dir_cid)
+
+        def publish_dir():
+            yield from publisher.publish(dir_cid)
+            yield from publisher.publish(inner)
+
+        sim.run_process(publish_dir())
+        bridge.node.disconnect_all()
+
+        def proc():
+            return (yield from bridge.get_path(dir_cid, "file.txt"))
+
+        response = sim.run_process(proc())
+        assert response.size == len(b"hello file")
+
+    def test_missing_path_segment(self, world):
+        sim, bridge, publisher, root, data = world
+        directory = Directory(publisher.blockstore)
+        inner = import_file(publisher.blockstore, b"x")
+        dir_cid = directory.build({"a": inner})
+        publisher.blockstore.pin(dir_cid)
+
+        def publish_dir():
+            yield from publisher.publish(dir_cid)
+
+        sim.run_process(publish_dir())
+
+        def proc():
+            try:
+                yield from bridge.get_path(dir_cid, "nope")
+            except RetrievalError:
+                return "missing"
+
+        assert sim.run_process(proc()) == "missing"

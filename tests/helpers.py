@@ -1,0 +1,73 @@
+"""Shared test helpers: compact simulated-world builders."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dht.bootstrap import populate_routing_tables
+from repro.dht.dht_node import DhtNode
+from repro.multiformats.peerid import PeerId
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class World:
+    """A wired-up simulated network for tests."""
+
+    sim: Simulator
+    net: SimNetwork
+    nodes: list[DhtNode] = field(default_factory=list)
+    rng: random.Random = field(default_factory=lambda: derive_rng(0, "world"))
+
+    def node(self, index: int) -> DhtNode:
+        return self.nodes[index]
+
+
+def build_world(
+    n: int = 60,
+    seed: int = 1,
+    offline_fraction: float = 0.0,
+    client_fraction: float = 0.0,
+    regions: list[Region] | None = None,
+    peer_class: PeerClass = PeerClass.DATACENTER,
+    populate: bool = True,
+) -> World:
+    """Create ``n`` DHT nodes with filled routing tables.
+
+    The first node is always an online server (tests use it as the
+    protagonist).
+    """
+    sim = Simulator()
+    rng = derive_rng(seed, "world")
+    net = SimNetwork(sim, derive_rng(seed, "net"))
+    region_pool = regions if regions is not None else list(Region)
+    nodes: list[DhtNode] = []
+    for index in range(n):
+        peer_id = PeerId.from_public_key(b"world-%d-%d" % (seed, index))
+        is_client = index != 0 and rng.random() < client_fraction
+        online = index == 0 or rng.random() >= offline_fraction
+        host = SimHost(
+            peer_id,
+            region=rng.choice(region_pool),
+            peer_class=peer_class,
+            nat_private=is_client,
+            online=online,
+        )
+        net.register(host)
+        nodes.append(
+            DhtNode(
+                sim,
+                net,
+                host,
+                derive_rng(seed, "dht", str(index)),
+                server=not is_client,
+            )
+        )
+    world = World(sim, net, nodes, rng)
+    if populate:
+        populate_routing_tables(nodes, rng)
+    return world

@@ -1,0 +1,132 @@
+"""Tests for DNSLink resolution."""
+
+import pytest
+
+from repro.errors import IpnsError
+from repro.ipns.dnslink import DnsLinkResolver, DnsRegistry
+from repro.ipns.resolver import IpnsPublisher, IpnsResolver, install_ipns_validator
+from repro.multiformats.cid import make_cid
+from tests.helpers import build_world
+
+
+@pytest.fixture()
+def registry():
+    return DnsRegistry()
+
+
+class TestRegistry:
+    def test_set_and_lookup(self, registry):
+        registry.set_link("example.org", "/ipfs/" + make_cid(b"x").encode())
+        assert registry.lookup("example.org").startswith("/ipfs/")
+
+    def test_domains_case_insensitive(self, registry):
+        registry.set_link("Example.ORG", "/ipfs/" + make_cid(b"x").encode())
+        assert registry.lookup("example.org") is not None
+
+    def test_trailing_dot_normalized(self, registry):
+        registry.set_link("example.org.", "/ipfs/" + make_cid(b"x").encode())
+        assert registry.lookup("example.org") is not None
+
+    def test_invalid_target_rejected(self, registry):
+        with pytest.raises(IpnsError):
+            registry.set_link("example.org", "https://example.org")
+
+    def test_invalid_domain_rejected(self, registry):
+        with pytest.raises(IpnsError):
+            registry.set_link("", "/ipfs/x")
+
+    def test_remove(self, registry):
+        registry.set_link("example.org", "/ipfs/" + make_cid(b"x").encode())
+        registry.remove("example.org")
+        assert registry.lookup("example.org") is None
+
+
+class TestResolution:
+    def _world(self):
+        world = build_world(n=50, seed=91)
+        for node in world.nodes:
+            install_ipns_validator(node)
+        return world
+
+    def test_direct_ipfs_link(self, registry):
+        world = self._world()
+        cid = make_cid(b"static site")
+        registry.set_link("static.example", f"/ipfs/{cid}")
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(0)))
+
+        def proc():
+            return (yield from resolver.resolve("static.example"))
+
+        assert world.sim.run_process(proc()) == cid
+
+    def test_domain_to_ipns_to_cid(self, registry):
+        world = self._world()
+        from repro.crypto.keys import generate_keypair
+        from repro.utils.rng import derive_rng
+
+        keypair = generate_keypair(derive_rng(91, "kp"))
+        node = world.node(0)
+        node.host.peer_id = keypair.peer_id
+        world.net.hosts[keypair.peer_id] = node.host
+        publisher = IpnsPublisher(node, keypair)
+        target = make_cid(b"dynamic site v1")
+
+        def publish():
+            return (yield from publisher.publish(target))
+
+        world.sim.run_process(publish())
+        registry.set_link("blog.example", f"/ipns/{keypair.peer_id}")
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(20)))
+
+        def proc():
+            return (yield from resolver.resolve("blog.example"))
+
+        assert world.sim.run_process(proc()) == target
+
+    def test_domain_chains(self, registry):
+        world = self._world()
+        cid = make_cid(b"chained")
+        registry.set_link("a.example", "/ipns/b.example")
+        registry.set_link("b.example", f"/ipfs/{cid}")
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(0)))
+
+        def proc():
+            return (yield from resolver.resolve("a.example"))
+
+        assert world.sim.run_process(proc()) == cid
+
+    def test_missing_domain_raises(self, registry):
+        world = self._world()
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(0)))
+
+        def proc():
+            try:
+                yield from resolver.resolve("nothing.example")
+            except IpnsError:
+                return "missing"
+
+        assert world.sim.run_process(proc()) == "missing"
+
+    def test_indirection_loop_detected(self, registry):
+        world = self._world()
+        registry.set_link("x.example", "/ipns/y.example")
+        registry.set_link("y.example", "/ipns/x.example")
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(0)))
+
+        def proc():
+            try:
+                yield from resolver.resolve("x.example")
+            except IpnsError as exc:
+                return str(exc)
+
+        assert "indirection" in world.sim.run_process(proc())
+
+    def test_ipfs_path_passthrough(self, registry):
+        world = self._world()
+        cid = make_cid(b"plain")
+        resolver = DnsLinkResolver(registry, IpnsResolver(world.node(0)))
+
+        def proc():
+            return (yield from resolver.resolve(f"/ipfs/{cid}"))
+
+        assert world.sim.run_process(proc()) == cid

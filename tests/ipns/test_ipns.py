@@ -1,0 +1,161 @@
+"""Tests for IPNS records, publishing and resolution."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import IpnsError
+from repro.ipns.record import IpnsRecord, ipns_key_for, make_record
+from repro.ipns.resolver import IpnsPublisher, IpnsResolver, install_ipns_validator
+from repro.multiformats.cid import make_cid
+from repro.utils.rng import derive_rng
+from tests.helpers import build_world
+
+
+@pytest.fixture()
+def keypair():
+    return generate_keypair(derive_rng(11, "key"))
+
+
+class TestRecord:
+    def test_roundtrip(self, keypair):
+        record = make_record(keypair, make_cid(b"v1"), 0, now=100.0)
+        assert IpnsRecord.decode(record.encode()) == record
+
+    def test_verifies_against_name(self, keypair):
+        record = make_record(keypair, make_cid(b"v1"), 0, now=0.0)
+        assert record.verify(keypair.peer_id, now=10.0)
+
+    def test_wrong_name_rejected(self, keypair):
+        other = generate_keypair(derive_rng(12, "key"))
+        record = make_record(keypair, make_cid(b"v1"), 0, now=0.0)
+        assert not record.verify(other.peer_id, now=10.0)
+
+    def test_expired_record_rejected(self, keypair):
+        record = make_record(keypair, make_cid(b"v1"), 0, now=0.0, validity_s=100.0)
+        assert record.verify(keypair.peer_id, now=99.0)
+        assert not record.verify(keypair.peer_id, now=100.0)
+
+    def test_tampered_value_rejected(self, keypair):
+        record = make_record(keypair, make_cid(b"v1"), 0, now=0.0)
+        forged = IpnsRecord(
+            make_cid(b"evil"), record.sequence, record.valid_until,
+            record.public_key, record.signature,
+        )
+        assert not forged.verify(keypair.peer_id, now=1.0)
+
+    def test_tampered_sequence_rejected(self, keypair):
+        record = make_record(keypair, make_cid(b"v1"), 3, now=0.0)
+        forged = IpnsRecord(
+            record.value, 99, record.valid_until, record.public_key, record.signature
+        )
+        assert not forged.verify(keypair.peer_id, now=1.0)
+
+    def test_negative_sequence_rejected(self, keypair):
+        with pytest.raises(IpnsError):
+            make_record(keypair, make_cid(b"x"), -1, now=0.0)
+
+    def test_garbage_decode_rejected(self):
+        with pytest.raises(IpnsError):
+            IpnsRecord.decode(b"not a record")
+
+    def test_name_derivation(self, keypair):
+        record = make_record(keypair, make_cid(b"v"), 0, now=0.0)
+        assert record.name == keypair.peer_id
+
+    def test_key_distinct_from_provider_key(self, keypair):
+        # /ipns/<peer> must not collide with the peer's own DHT key.
+        assert ipns_key_for(keypair.peer_id) != keypair.peer_id.dht_key()
+
+
+class TestPublishResolve:
+    def _world(self):
+        world = build_world(n=60, seed=21)
+        for node in world.nodes:
+            install_ipns_validator(node)
+        return world
+
+    def test_publish_then_resolve(self):
+        world = self._world()
+        publisher_node = world.node(0)
+        keypair = _keypair_for(world, 0)
+        publisher = IpnsPublisher(publisher_node, keypair)
+        target = make_cid(b"website v1")
+
+        def publish():
+            return (yield from publisher.publish(target))
+
+        record, stored = world.sim.run_process(publish())
+        assert stored > 0
+
+        resolver = IpnsResolver(world.node(30))
+
+        def resolve():
+            return (yield from resolver.resolve(keypair.peer_id))
+
+        assert world.sim.run_process(resolve()) == target
+
+    def test_update_supersedes(self):
+        world = self._world()
+        keypair = _keypair_for(world, 0)
+        publisher = IpnsPublisher(world.node(0), keypair)
+        v1, v2 = make_cid(b"v1"), make_cid(b"v2")
+
+        def run():
+            yield from publisher.publish(v1)
+            yield from publisher.publish(v2)
+            resolver = IpnsResolver(world.node(25))
+            return (yield from resolver.resolve(keypair.peer_id))
+
+        assert world.sim.run_process(run()) == v2
+
+    def test_unknown_name_raises(self):
+        world = self._world()
+        other = generate_keypair(derive_rng(99, "other"))
+        resolver = IpnsResolver(world.node(5))
+
+        def resolve():
+            try:
+                yield from resolver.resolve(other.peer_id)
+            except IpnsError:
+                return "not found"
+
+        assert world.sim.run_process(resolve()) == "not found"
+
+    def test_validator_rejects_forged_record(self):
+        world = self._world()
+        node = world.node(0)
+        attacker = generate_keypair(derive_rng(66, "attacker"))
+        victim = generate_keypair(derive_rng(67, "victim"))
+        # A record signed by the attacker, stored under the victim's key.
+        record = make_record(attacker, make_cid(b"evil"), 0, now=world.sim.now)
+        assert node.value_validator(
+            ipns_key_for(victim.peer_id), record.encode(), None
+        ) is False
+
+    def test_validator_rejects_stale_sequence(self):
+        world = self._world()
+        node = world.node(0)
+        keypair = generate_keypair(derive_rng(68, "pub"))
+        key = ipns_key_for(keypair.peer_id)
+        new = make_record(keypair, make_cid(b"v2"), 5, now=world.sim.now)
+        old = make_record(keypair, make_cid(b"v1"), 4, now=world.sim.now)
+        assert node.value_validator(key, new.encode(), None) is True
+        assert node.value_validator(key, old.encode(), new.encode()) is False
+
+    def test_publisher_requires_matching_keypair(self):
+        world = self._world()
+        mismatched = generate_keypair(derive_rng(70, "zzz"))
+        with pytest.raises(IpnsError):
+            IpnsPublisher(world.node(0), mismatched)
+
+
+def _keypair_for(world, index):
+    """Regenerate the keypair that matches a world node's PeerID."""
+    # build_world derives PeerIds from raw bytes, not keypairs; use a
+    # fresh keypair and rebind the node's identity to it.
+    keypair = generate_keypair(derive_rng(500, "kp", str(index)))
+    node = world.node(index)
+    node.host.peer_id = keypair.peer_id
+    # Re-register under the new PeerID so RPC routing still works.
+    world.net.hosts[keypair.peer_id] = node.host
+    return keypair

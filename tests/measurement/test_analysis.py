@@ -1,0 +1,124 @@
+"""Tests for the deployment aggregation pipeline (Figs 5-7, Tables 2-3)."""
+
+import pytest
+
+from repro.measurement.analysis import (
+    as_distribution,
+    cloud_distribution,
+    country_distribution,
+    multihoming_share,
+    peers_per_ip_cdf,
+    reliability_split,
+    top_as_cumulative_share,
+)
+from repro.measurement.registries import AsInfo, CloudRegistry, GeoIpRegistry
+
+
+@pytest.fixture()
+def geo():
+    registry = GeoIpRegistry()
+    registry.add_as(AsInfo(100, 1, "BIG-AS, US"))
+    registry.add_as(AsInfo(200, 2, "SMALL-AS, DE"))
+    registry.add_ip("1.1.1.1", "US", 100)
+    registry.add_ip("1.1.1.2", "US", 100)
+    registry.add_ip("2.2.2.2", "DE", 200)
+    return registry
+
+
+class TestCountryDistribution:
+    def test_shares_sum_to_one_without_multihoming(self, geo):
+        peer_ips = {"p1": ["1.1.1.1"], "p2": ["1.1.1.2"], "p3": ["2.2.2.2"]}
+        shares = country_distribution(peer_ips, geo)
+        assert shares == {"US": pytest.approx(2 / 3), "DE": pytest.approx(1 / 3)}
+
+    def test_multihomed_peer_counted_in_both_countries(self, geo):
+        peer_ips = {"p1": ["1.1.1.1", "2.2.2.2"]}
+        shares = country_distribution(peer_ips, geo)
+        assert shares["US"] == 1.0
+        assert shares["DE"] == 1.0  # counted "repeatedly", as in Fig 5
+
+    def test_unknown_ips_ignored(self, geo):
+        shares = country_distribution({"p1": ["9.9.9.9"]}, geo)
+        assert shares == {}
+
+    def test_multihoming_share(self, geo):
+        peer_ips = {
+            "multi": ["1.1.1.1", "2.2.2.2"],
+            "single": ["1.1.1.2"],
+        }
+        assert multihoming_share(peer_ips, geo) == 0.5
+
+
+class TestPeersPerIp:
+    def test_cdf_counts(self, geo):
+        peer_ips = {
+            "p1": ["1.1.1.1"],
+            "p2": ["1.1.1.1"],
+            "p3": ["2.2.2.2"],
+        }
+        cdf = peers_per_ip_cdf(peer_ips)
+        # 2 IPs: one hosts 2 peers, one hosts 1.
+        assert cdf.probability_at(1) == 0.5
+        assert cdf.probability_at(2) == 1.0
+
+    def test_duplicate_ips_per_peer_counted_once(self, geo):
+        cdf = peers_per_ip_cdf({"p1": ["1.1.1.1", "1.1.1.1"]})
+        assert cdf.xs == (1.0,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            peers_per_ip_cdf({})
+
+
+class TestAsDistribution:
+    def test_shares_and_ordering(self, geo):
+        rows = as_distribution(["1.1.1.1", "1.1.1.2", "2.2.2.2"], geo)
+        assert rows[0].asn == 100
+        assert rows[0].share == pytest.approx(2 / 3)
+        assert rows[0].name == "BIG-AS, US"
+        assert rows[1].asn == 200
+
+    def test_cumulative_share(self, geo):
+        rows = as_distribution(["1.1.1.1", "2.2.2.2"], geo)
+        assert top_as_cumulative_share(rows, 1) == pytest.approx(0.5)
+        assert top_as_cumulative_share(rows, 10) == pytest.approx(1.0)
+
+    def test_unknown_asn_skipped(self, geo):
+        rows = as_distribution(["9.9.9.9"], geo)
+        assert rows == []
+
+
+class TestCloudDistribution:
+    def test_split(self):
+        clouds = CloudRegistry()
+        clouds.add_ip("1.1.1.1", "Amazon AWS")
+        rows, non_cloud = cloud_distribution(["1.1.1.1", "2.2.2.2"], clouds)
+        assert rows[0].provider == "Amazon AWS"
+        assert rows[0].share == 0.5
+        assert non_cloud.share == 0.5
+
+    def test_all_non_cloud(self):
+        rows, non_cloud = cloud_distribution(["2.2.2.2"], CloudRegistry())
+        assert rows == []
+        assert non_cloud.share == 1.0
+
+    def test_is_cloud(self):
+        clouds = CloudRegistry()
+        clouds.add_ip("1.1.1.1", "OVH")
+        assert clouds.is_cloud("1.1.1.1")
+        assert not clouds.is_cloud("2.2.2.2")
+
+
+class TestReliabilitySplit:
+    def test_partitions(self):
+        reliable, intermittent, never = reliability_split(
+            {"a": 0.99, "b": 0.5, "c": 0.0}
+        )
+        assert reliable == {"a"}
+        assert intermittent == {"b"}
+        assert never == {"c"}
+
+    def test_threshold_is_exclusive(self):
+        reliable, intermittent, _ = reliability_split({"a": 0.9})
+        assert reliable == set()
+        assert intermittent == {"a"}

@@ -1,0 +1,119 @@
+"""Tests for churn analysis (Fig 8) and retrieval stretch (Fig 10)."""
+
+import pytest
+
+from repro.measurement.churn_analysis import (
+    SessionObservation,
+    churn_cdf_by_group,
+    filter_for_bias,
+    session_statistics,
+    uptime_fraction,
+)
+from repro.measurement.stretch import retrieval_stretch
+from repro.multiformats.cid import make_cid
+from repro.multiformats.peerid import PeerId
+from repro.node.host import RetrievalReceipt
+
+
+def session(start, end, group="US", peer="p"):
+    return SessionObservation(peer, group, start, end)
+
+
+class TestBiasFilter:
+    def test_keeps_first_half_starters(self):
+        sessions = [session(10, 20), session(60, 70), session(90, 95)]
+        kept = filter_for_bias(sessions, window_start=0, window_end=100)
+        assert [s.start for s in kept] == [10]
+
+    def test_boundary_inclusive(self):
+        sessions = [session(50, 60)]
+        assert filter_for_bias(sessions, 0, 100) == sessions
+
+
+class TestStatistics:
+    def test_summary(self):
+        sessions = [
+            session(0, 3600),  # 1 h
+            session(0, 7 * 3600),  # 7 h
+            session(0, 30 * 3600),  # 30 h
+        ]
+        summary = session_statistics(sessions)
+        assert summary.session_count == 3
+        assert summary.median_s == 7 * 3600
+        assert summary.under_8h_fraction == pytest.approx(2 / 3)
+        assert summary.over_24h_fraction == pytest.approx(1 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            session_statistics([])
+
+    def test_cdf_by_group_respects_min_size(self):
+        sessions = [session(0, 60, group="US") for _ in range(25)]
+        sessions += [session(0, 60, group="DE") for _ in range(3)]
+        cdfs = churn_cdf_by_group(sessions, min_group_size=20)
+        assert "US" in cdfs
+        assert "DE" not in cdfs
+
+
+class TestUptimeFraction:
+    def test_full_and_partial(self):
+        fractions = uptime_fraction(
+            {
+                "always": [(0.0, 100.0)],
+                "half": [(0.0, 25.0), (50.0, 75.0)],
+                "never": [],
+            },
+            window_start=0.0,
+            window_end=100.0,
+        )
+        assert fractions["always"] == 1.0
+        assert fractions["half"] == 0.5
+        assert fractions["never"] == 0.0
+
+    def test_intervals_clipped_to_window(self):
+        fractions = uptime_fraction({"p": [(-50.0, 50.0)]}, 0.0, 100.0)
+        assert fractions["p"] == 0.5
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            uptime_fraction({}, 10.0, 10.0)
+
+
+def receipt(window=1.0, provider_walk=0.5, peer_walk=0.5, dial=0.2, fetch=0.8):
+    total = window + provider_walk + peer_walk + dial + fetch
+    return RetrievalReceipt(
+        cid=make_cid(b"x"),
+        provider=PeerId.from_public_key(b"p"),
+        via_bitswap=False,
+        bitswap_window=window,
+        provider_walk_duration=provider_walk,
+        peer_walk_duration=peer_walk,
+        dial_duration=dial,
+        fetch_duration=fetch,
+        total_duration=total,
+        bytes_fetched=500_000,
+    )
+
+
+class TestStretch:
+    def test_formula_with_window(self):
+        r = receipt()
+        # (1 + .5 + .5 + .2 + .8) / (.2 + .8) = 3.0
+        assert retrieval_stretch(r, True) == pytest.approx(3.0)
+
+    def test_formula_without_window(self):
+        r = receipt()
+        # (.5 + .5 + .2 + .8) / (.2 + .8) = 2.0
+        assert retrieval_stretch(r, False) == pytest.approx(2.0)
+
+    def test_no_discovery_means_stretch_one(self):
+        r = receipt(window=0.0, provider_walk=0.0, peer_walk=0.0)
+        assert retrieval_stretch(r, True) == pytest.approx(1.0)
+
+    def test_stretch_at_least_one(self):
+        assert retrieval_stretch(receipt(), True) >= 1.0
+
+    def test_degenerate_receipt_rejected(self):
+        r = receipt(dial=0.0, fetch=0.0)
+        with pytest.raises(ValueError):
+            retrieval_stretch(r, True)

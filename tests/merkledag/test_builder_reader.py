@@ -1,0 +1,128 @@
+"""Integration tests: import content, read it back, verify structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockstore.memory import MemoryBlockstore
+from repro.errors import BlockNotFoundError, DagError
+from repro.merkledag.builder import DagBuilder
+from repro.merkledag.chunker import chunk_rabin
+from repro.blockstore.block import Block
+from repro.merkledag.reader import DagReader
+
+
+@pytest.fixture()
+def store() -> MemoryBlockstore:
+    return MemoryBlockstore()
+
+
+class TestImportRoundtrip:
+    def test_small_file_is_single_raw_leaf(self, store):
+        result = DagBuilder(store, chunk_size=1024).add_bytes(b"small")
+        assert result.block_count == 1
+        assert result.root.codec_name == "raw"
+        assert DagReader(store).cat(result.root) == b"small"
+
+    def test_multi_chunk_file(self, store):
+        data = bytes(i % 256 for i in range(10_000))
+        result = DagBuilder(store, chunk_size=1024).add_bytes(data)
+        assert result.block_count > 1
+        assert DagReader(store).cat(result.root) == data
+
+    def test_multi_level_tree(self, store):
+        data = bytes(range(100))
+        result = DagBuilder(store, chunk_size=4, fanout=2).add_bytes(data)
+        # 25 distinct leaves with fanout 2 force several internal levels.
+        assert DagReader(store).cat(result.root) == data
+        assert len(DagReader(store).all_cids(result.root)) > 25
+
+    def test_empty_file(self, store):
+        result = DagBuilder(store).add_bytes(b"")
+        assert DagReader(store).cat(result.root) == b""
+
+    def test_same_content_same_root(self, store):
+        a = DagBuilder(store, chunk_size=64).add_bytes(b"q" * 500)
+        b = DagBuilder(store, chunk_size=64).add_bytes(b"q" * 500)
+        assert a.root == b.root
+
+    def test_deduplication_of_repeated_chunks(self, store):
+        # 10 identical chunks stored once (Section 2.1 dedup).
+        data = b"A" * 64 * 10
+        result = DagBuilder(store, chunk_size=64).add_bytes(data)
+        assert result.block_count == 11  # 10 leaves + 1 internal node
+        assert result.new_blocks == 2  # unique leaf + internal node
+
+    def test_dedup_across_files(self, store):
+        builder = DagBuilder(store, chunk_size=64)
+        builder.add_bytes(b"shared-chunk!" * 5 + b"\x00" * 12)  # 77 bytes
+        before = len(store)
+        builder.add_bytes(b"shared-chunk!" * 5 + b"\x00" * 12)
+        assert len(store) == before
+
+    def test_rabin_chunker_integration(self, store):
+        data = bytes(i * 7 % 256 for i in range(30_000))
+        builder = DagBuilder(
+            store,
+            chunker=lambda d: chunk_rabin(d, min_size=128, target_size=512, max_size=2048),
+        )
+        result = builder.add_bytes(data)
+        assert DagReader(store).cat(result.root) == data
+
+    def test_fanout_validation(self, store):
+        with pytest.raises(ValueError):
+            DagBuilder(store, fanout=1)
+
+    def test_import_result_size(self, store):
+        result = DagBuilder(store, chunk_size=16).add_bytes(b"x" * 100)
+        assert result.size == 100
+        assert DagReader(store).total_size(result.root) == 100
+
+    @settings(max_examples=25)
+    @given(st.binary(max_size=4096))
+    def test_roundtrip_property(self, data):
+        store = MemoryBlockstore()
+        result = DagBuilder(store, chunk_size=256, fanout=3).add_bytes(data)
+        assert DagReader(store).cat(result.root) == data
+
+
+class TestReaderFailureModes:
+    def test_missing_root(self, store):
+        from repro.multiformats.cid import make_cid
+
+        with pytest.raises(BlockNotFoundError):
+            DagReader(store).cat(make_cid(b"never stored"))
+
+    def test_missing_child_detected(self, store):
+        data = b"m" * 1000
+        result = DagBuilder(store, chunk_size=64).add_bytes(data)
+        reader = DagReader(store)
+        # Remove one leaf out from under the DAG.
+        leaf = reader.all_cids(result.root)[-1]
+        store.delete(leaf)
+        assert not reader.has_complete_dag(result.root)
+        with pytest.raises(BlockNotFoundError):
+            reader.cat(result.root)
+
+    def test_corrupted_block_detected(self, store):
+        data = bytes(range(256)) * 8
+        result = DagBuilder(store, chunk_size=64).add_bytes(data)
+        reader = DagReader(store)
+        victim = reader.all_cids(result.root)[-1]
+        # Bypass the store's verification to plant a corrupt block.
+        store._blocks[victim] = Block(victim, b"corrupted bytes")
+        with pytest.raises(DagError):
+            reader.cat(result.root)
+
+    def test_complete_dag_true_when_whole(self, store):
+        result = DagBuilder(store, chunk_size=64).add_bytes(b"ok" * 500)
+        assert DagReader(store).has_complete_dag(result.root)
+
+    def test_all_cids_starts_with_root(self, store):
+        result = DagBuilder(store, chunk_size=64).add_bytes(b"ok" * 500)
+        assert DagReader(store).all_cids(result.root)[0] == result.root
+
+    def test_iter_chunks_streams_in_order(self, store):
+        data = bytes(i % 251 for i in range(5000))
+        result = DagBuilder(store, chunk_size=512).add_bytes(data)
+        assert b"".join(DagReader(store).iter_chunks(result.root)) == data

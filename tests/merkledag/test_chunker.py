@@ -1,0 +1,91 @@
+"""Tests for fixed-size and content-defined chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.merkledag.chunker import DEFAULT_CHUNK_SIZE, chunk_fixed, chunk_rabin
+
+
+class TestFixed:
+    def test_default_chunk_size_is_256k(self):
+        assert DEFAULT_CHUNK_SIZE == 256 * 1024
+
+    def test_exact_multiple(self):
+        chunks = list(chunk_fixed(b"x" * 8, chunk_size=4))
+        assert [len(c) for c in chunks] == [4, 4]
+
+    def test_remainder_chunk(self):
+        chunks = list(chunk_fixed(b"x" * 10, chunk_size=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_small_input_single_chunk(self):
+        assert list(chunk_fixed(b"ab", chunk_size=4)) == [b"ab"]
+
+    def test_empty_input_yields_empty_chunk(self):
+        assert list(chunk_fixed(b"")) == [b""]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_fixed(b"x", chunk_size=0))
+
+    @given(st.binary(min_size=1, max_size=4096), st.integers(min_value=1, max_value=512))
+    def test_concat_property(self, data, size):
+        assert b"".join(chunk_fixed(data, chunk_size=size)) == data
+
+
+class TestRabin:
+    def test_concat_reconstructs(self):
+        data = bytes(i % 251 for i in range(50_000))
+        chunks = list(chunk_rabin(data, min_size=256, target_size=1024, max_size=4096))
+        assert b"".join(chunks) == data
+
+    def test_size_bounds_respected(self):
+        data = bytes(i % 251 for i in range(50_000))
+        chunks = list(chunk_rabin(data, min_size=256, target_size=1024, max_size=4096))
+        for chunk in chunks[:-1]:
+            assert 256 <= len(chunk) <= 4096
+        assert len(chunks[-1]) <= 4096
+
+    def test_boundaries_stable_under_prefix_insertion(self):
+        """The content-defined property: a prefix edit should not
+        re-chunk the whole file — most chunks reappear unchanged."""
+        import random
+
+        rng = random.Random(5)
+        data = bytes(rng.randrange(256) for _ in range(60_000))
+        original = set(chunk_rabin(data, min_size=128, target_size=512, max_size=2048))
+        shifted = set(
+            chunk_rabin(b"INSERTED" + data, min_size=128, target_size=512, max_size=2048)
+        )
+        shared = len(original & shifted)
+        assert shared / len(original) > 0.5
+
+    def test_fixed_chunker_lacks_shift_resistance(self):
+        """Contrast: fixed chunking loses almost all chunks on a shift
+        (why go-ipfs offers rabin for mutable data)."""
+        import random
+
+        rng = random.Random(5)
+        data = bytes(rng.randrange(256) for _ in range(60_000))
+        original = set(chunk_fixed(data, chunk_size=512))
+        shifted = set(chunk_fixed(b"X" + data, chunk_size=512))
+        assert len(original & shifted) / len(original) < 0.1
+
+    def test_empty_input(self):
+        assert list(chunk_rabin(b"")) == [b""]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            list(chunk_rabin(b"x", min_size=10, target_size=5, max_size=20))
+
+    def test_deterministic(self):
+        data = bytes(range(256)) * 40
+        a = list(chunk_rabin(data, min_size=64, target_size=256, max_size=1024))
+        b = list(chunk_rabin(data, min_size=64, target_size=256, max_size=1024))
+        assert a == b
+
+    @given(st.binary(min_size=1, max_size=8192))
+    def test_concat_property(self, data):
+        chunks = list(chunk_rabin(data, min_size=32, target_size=128, max_size=512))
+        assert b"".join(chunks) == data

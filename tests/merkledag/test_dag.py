@@ -1,0 +1,98 @@
+"""Tests for DAG node encoding and the Block primitive."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DagError
+from repro.merkledag.dag import DagLink, DagNode
+from repro.blockstore.block import Block
+from repro.multiformats.cid import make_cid
+from repro.multiformats.multicodec import CODEC_DAG_PB
+
+
+def _link(payload: bytes, name: str = "", size: int = 1) -> DagLink:
+    return DagLink(make_cid(payload), name, size)
+
+
+class TestDagNode:
+    def test_leaf_roundtrip(self):
+        node = DagNode(data=b"leaf payload")
+        assert DagNode.decode(node.encode()) == node
+
+    def test_node_with_links_roundtrip(self):
+        node = DagNode(links=(_link(b"a", "child-a", 10), _link(b"b", "child-b", 20)))
+        assert DagNode.decode(node.encode()) == node
+
+    def test_unicode_link_names(self):
+        node = DagNode(links=(_link(b"a", "日本語.txt", 5),))
+        assert DagNode.decode(node.encode()).links[0].name == "日本語.txt"
+
+    def test_total_size_sums_links_and_data(self):
+        node = DagNode(links=(_link(b"a", "", 10), _link(b"b", "", 20)), data=b"xyz")
+        assert node.total_size() == 33
+
+    def test_is_leaf(self):
+        assert DagNode(data=b"x").is_leaf
+        assert not DagNode(links=(_link(b"a"),)).is_leaf
+
+    def test_encoding_is_deterministic(self):
+        node = DagNode(links=(_link(b"a", "n", 1),), data=b"d")
+        assert node.encode() == node.encode()
+        assert node.cid() == node.cid()
+
+    def test_cid_uses_dag_pb_codec(self):
+        assert DagNode(data=b"x").cid().codec == CODEC_DAG_PB
+
+    def test_different_links_different_cid(self):
+        a = DagNode(links=(_link(b"a"),))
+        b = DagNode(links=(_link(b"b"),))
+        assert a.cid() != b.cid()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DagError):
+            DagNode.decode(b"\x00\x00garbage")
+
+    def test_truncated_rejected(self):
+        encoded = DagNode(links=(_link(b"a", "name", 1),), data=b"data").encode()
+        with pytest.raises(DagError):
+            DagNode.decode(encoded[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        encoded = DagNode(data=b"x").encode()
+        with pytest.raises(DagError):
+            DagNode.decode(encoded + b"\x00")
+
+    def test_negative_link_size_rejected(self):
+        with pytest.raises(DagError):
+            DagLink(make_cid(b"a"), "", -1)
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=8),
+                      st.text(max_size=8),
+                      st.integers(min_value=0, max_value=2**32)),
+            max_size=5,
+        ),
+        st.binary(max_size=64),
+    )
+    def test_roundtrip_property(self, raw_links, data):
+        links = tuple(DagLink(make_cid(p), n, s) for p, n, s in raw_links)
+        node = DagNode(links=links, data=data)
+        assert DagNode.decode(node.encode()) == node
+
+
+class TestBlock:
+    def test_from_data_derives_cid(self):
+        block = Block.from_data(b"content")
+        assert block.cid == make_cid(b"content")
+        assert block.verify()
+
+    def test_forged_block_fails_verify(self):
+        assert not Block(make_cid(b"real"), b"fake").verify()
+
+    def test_size(self):
+        assert Block.from_data(b"12345").size == 5
+
+    def test_hashable(self):
+        assert len({Block.from_data(b"a"), Block.from_data(b"a")}) == 1

@@ -1,0 +1,90 @@
+"""Tests for directory semantics and path resolution."""
+
+import pytest
+
+from repro.blockstore.memory import MemoryBlockstore
+from repro.errors import DagError
+from repro.merkledag.builder import DagBuilder
+from repro.merkledag.reader import DagReader
+from repro.merkledag.unixfs import Directory, import_file
+
+
+@pytest.fixture()
+def store():
+    return MemoryBlockstore()
+
+
+@pytest.fixture()
+def directory(store):
+    return Directory(store)
+
+
+def test_build_and_list(store, directory):
+    a = import_file(store, b"contents of a")
+    b = import_file(store, b"contents of b")
+    root = directory.build({"a.txt": a, "b.txt": b})
+    entries = directory.list_entries(root)
+    assert [e.name for e in entries] == ["a.txt", "b.txt"]
+    assert entries[0].cid == a
+
+
+def test_entries_sorted_canonically(store, directory):
+    a = import_file(store, b"a")
+    b = import_file(store, b"b")
+    root1 = directory.build({"z": a, "a": b})
+    root2 = directory.build({"a": b, "z": a})
+    assert root1 == root2
+
+
+def test_resolve_path_nested(store, directory):
+    leaf = import_file(store, b"deep file")
+    inner = directory.build({"file.txt": leaf})
+    outer = directory.build({"docs": inner})
+    resolved = directory.resolve_path(outer, "docs/file.txt")
+    assert resolved == leaf
+    assert DagReader(store).cat(resolved) == b"deep file"
+
+
+def test_resolve_path_root_itself(store, directory):
+    leaf = import_file(store, b"x")
+    root = directory.build({"f": leaf})
+    assert directory.resolve_path(root, "") == root
+
+
+def test_resolve_missing_segment(store, directory):
+    root = directory.build({"f": import_file(store, b"x")})
+    with pytest.raises(DagError):
+        directory.resolve_path(root, "missing")
+
+
+def test_is_directory(store, directory):
+    file_cid = import_file(store, b"file")
+    dir_cid = directory.build({"f": file_cid})
+    assert directory.is_directory(dir_cid)
+    assert not directory.is_directory(file_cid)
+
+
+def test_list_entries_on_file_raises(store, directory):
+    big = DagBuilder(store, chunk_size=4).add_bytes(b"0123456789").root
+    with pytest.raises(DagError):
+        directory.list_entries(big)
+
+
+def test_invalid_entry_names_rejected(store, directory):
+    leaf = import_file(store, b"x")
+    with pytest.raises(DagError):
+        directory.build({"": leaf})
+    with pytest.raises(DagError):
+        directory.build({"a/b": leaf})
+
+
+def test_entry_sizes_reported(store, directory):
+    leaf = import_file(store, b"12345")
+    root = directory.build({"f": leaf})
+    assert directory.list_entries(root)[0].size == 5
+
+
+def test_directory_cid_commits_to_content(store, directory):
+    root1 = directory.build({"f": import_file(store, b"v1")})
+    root2 = directory.build({"f": import_file(store, b"v2")})
+    assert root1 != root2

@@ -1,0 +1,115 @@
+"""Tests for Content Identifiers (Figure 1 of the paper)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CidError
+from repro.multiformats.cid import Cid, make_cid
+from repro.multiformats.multicodec import CODEC_DAG_PB, CODEC_RAW
+from repro.multiformats.multihash import multihash_digest
+
+
+class TestConstruction:
+    def test_default_v1_raw(self):
+        cid = make_cid(b"hello")
+        assert cid.version == 1
+        assert cid.codec == CODEC_RAW
+
+    def test_v1_string_has_multibase_prefix_b(self):
+        assert make_cid(b"hello").encode().startswith("b")
+
+    def test_raw_sha256_cid_matches_known_ipfs_format(self):
+        # Raw-leaf CIDv1 strings begin with "bafkrei" for sha2-256.
+        assert make_cid(b"hello world").encode().startswith("bafkrei")
+
+    def test_dag_pb_cid_prefix(self):
+        cid = make_cid(b"node", codec=CODEC_DAG_PB)
+        assert cid.encode().startswith("bafybei")
+
+    def test_v0_requires_dag_pb(self):
+        with pytest.raises(CidError):
+            Cid(0, CODEC_RAW, multihash_digest(b"x"))
+
+    def test_v0_requires_sha256(self):
+        with pytest.raises(CidError):
+            Cid(0, CODEC_DAG_PB, multihash_digest(b"x", "sha2-512"))
+
+    def test_unsupported_version(self):
+        with pytest.raises(CidError):
+            Cid(2, CODEC_RAW, multihash_digest(b"x"))
+
+
+class TestStringRoundtrip:
+    def test_v1_base32(self):
+        cid = make_cid(b"payload")
+        assert Cid.decode(cid.encode()) == cid
+
+    def test_v1_other_bases(self):
+        cid = make_cid(b"payload")
+        for encoding in ("base16", "base58btc", "base64url"):
+            assert Cid.decode(cid.encode(encoding)) == cid
+
+    def test_v0_roundtrip(self):
+        cid = make_cid(b"legacy", codec=CODEC_DAG_PB, version=0)
+        text = cid.encode()
+        assert text.startswith("Qm")
+        assert len(text) == 46
+        assert Cid.decode(text) == cid
+
+    def test_empty_rejected(self):
+        with pytest.raises(CidError):
+            Cid.decode("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CidError):
+            Cid.decode("not-a-cid")
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_roundtrip_property(self, data):
+        cid = make_cid(data)
+        assert Cid.decode(cid.encode()) == cid
+
+
+class TestBinaryRoundtrip:
+    def test_v1(self):
+        cid = make_cid(b"data")
+        assert Cid.decode_binary(cid.encode_binary()) == cid
+
+    def test_v0_binary_is_bare_multihash(self):
+        cid = make_cid(b"data", codec=CODEC_DAG_PB, version=0)
+        assert cid.encode_binary() == cid.multihash.encode()
+        assert Cid.decode_binary(cid.encode_binary()) == cid
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CidError):
+            Cid.decode_binary(make_cid(b"x").encode_binary() + b"\x00")
+
+
+class TestSemantics:
+    def test_verify_content(self):
+        cid = make_cid(b"the content")
+        assert cid.verify(b"the content")
+        assert not cid.verify(b"other content")
+
+    def test_same_content_same_cid(self):
+        # Deduplication (Section 2.1) relies on this.
+        assert make_cid(b"dup") == make_cid(b"dup")
+
+    def test_different_content_different_cid(self):
+        assert make_cid(b"a") != make_cid(b"b")
+
+    def test_to_v1_preserves_multihash(self):
+        v0 = make_cid(b"x", codec=CODEC_DAG_PB, version=0)
+        v1 = v0.to_v1()
+        assert v1.version == 1
+        assert v1.multihash == v0.multihash
+        assert v1.to_v1() is v1
+
+    def test_hashable_and_ordered(self):
+        cids = {make_cid(b"a"), make_cid(b"b"), make_cid(b"a")}
+        assert len(cids) == 2
+        assert sorted(cids)  # total ordering does not raise
+
+    def test_codec_name(self):
+        assert make_cid(b"x").codec_name == "raw"

@@ -1,0 +1,95 @@
+"""Tests for Multiaddress parsing (Figure 2 of the paper)."""
+
+import pytest
+
+from repro.errors import MultiaddrError
+from repro.multiformats.multiaddr import Multiaddr, Protocol
+
+
+class TestParse:
+    def test_paper_figure2_example(self):
+        ma = Multiaddr.parse("/ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14")
+        assert ma.ip_address() == "1.2.3.4"
+        assert ma.value_for(Protocol.TCP) == "3333"
+        assert ma.peer_id_str() == "QmZyWQ14"
+
+    def test_roundtrip_str(self):
+        text = "/ip4/10.0.0.1/udp/4001/quic"
+        assert str(Multiaddr.parse(text)) == text
+
+    def test_ipv6(self):
+        ma = Multiaddr.parse("/ip6/::1/tcp/4001")
+        assert ma.ip_address() == "::1"
+
+    def test_dns(self):
+        ma = Multiaddr.parse("/dns4/bootstrap.libp2p.io/tcp/443/wss")
+        assert ma.value_for(Protocol.DNS4) == "bootstrap.libp2p.io"
+        assert ma.transport() == Protocol.WSS
+
+    def test_missing_leading_slash(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("ip4/1.2.3.4")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/ip4/1.2.3.4/tcp/1/")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/carrierpigeon/coop1")
+
+    def test_missing_value(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/ip4")
+
+    def test_invalid_ip(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/ip4/999.1.1.1/tcp/1")
+
+    def test_ip6_literal_rejected_for_ip4(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/ip4/::1/tcp/1")
+
+    def test_invalid_port(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/ip4/1.1.1.1/tcp/99999")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.parse("/")
+
+
+class TestSemantics:
+    def test_transport_priority_quic_over_udp(self):
+        assert Multiaddr.parse("/ip4/1.1.1.1/udp/4001/quic").transport() == Protocol.QUIC
+
+    def test_transport_tcp(self):
+        assert Multiaddr.parse("/ip4/1.1.1.1/tcp/4001").transport() == Protocol.TCP
+
+    def test_ws_over_tcp(self):
+        assert Multiaddr.parse("/ip4/1.1.1.1/tcp/8081/ws").transport() == Protocol.WS
+
+    def test_relay_detection(self):
+        relayed = Multiaddr.parse(
+            "/ip4/5.5.5.5/tcp/4001/p2p/QmRelay/p2p-circuit/p2p/QmTarget"
+        )
+        assert relayed.is_relayed()
+        assert not Multiaddr.parse("/ip4/1.1.1.1/tcp/1").is_relayed()
+
+    def test_with_peer_id(self):
+        ma = Multiaddr.parse("/ip4/1.1.1.1/tcp/4001").with_peer_id("QmPeer")
+        assert ma.peer_id_str() == "QmPeer"
+
+    def test_with_peer_id_rejects_duplicate(self):
+        ma = Multiaddr.parse("/ip4/1.1.1.1/tcp/4001/p2p/QmPeer")
+        with pytest.raises(MultiaddrError):
+            ma.with_peer_id("QmOther")
+
+    def test_build_validates(self):
+        with pytest.raises(MultiaddrError):
+            Multiaddr.build((Protocol.IP4, "bogus"))
+
+    def test_hashable(self):
+        a = Multiaddr.parse("/ip4/1.1.1.1/tcp/1")
+        b = Multiaddr.parse("/ip4/1.1.1.1/tcp/1")
+        assert len({a, b}) == 1

@@ -1,0 +1,52 @@
+"""Tests for the multibase layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.multiformats.multibase import (
+    multibase_decode,
+    multibase_encode,
+    multibase_encoding_name,
+    supported_encodings,
+)
+
+
+@pytest.mark.parametrize("encoding", supported_encodings())
+@given(data=st.binary(max_size=64))
+def test_roundtrip_all_encodings(encoding, data):
+    assert multibase_decode(multibase_encode(data, encoding)) == data
+
+
+def test_default_is_base32_prefix_b():
+    # Figure 1: "b" for base32.
+    assert multibase_encode(b"data").startswith("b")
+
+
+def test_prefix_mapping():
+    assert multibase_encoding_name("f00") == "base16"
+    assert multibase_encoding_name("bxyz") == "base32"
+    assert multibase_encoding_name("zabc") == "base58btc"
+
+
+def test_unknown_encoding_rejected():
+    with pytest.raises(DecodeError):
+        multibase_encode(b"x", "base7")
+
+
+def test_unknown_prefix_rejected():
+    with pytest.raises(DecodeError):
+        multibase_decode("Xabc")
+
+
+def test_empty_string_rejected():
+    with pytest.raises(DecodeError):
+        multibase_decode("")
+    with pytest.raises(DecodeError):
+        multibase_encoding_name("")
+
+
+def test_payload_corruption_detected_base16():
+    with pytest.raises(DecodeError):
+        multibase_decode("fzz")

@@ -1,0 +1,50 @@
+"""Tests for PeerID derivation and DHT key mapping."""
+
+import hashlib
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.multiformats.peerid import PeerId
+
+
+def test_from_public_key_deterministic():
+    assert PeerId.from_public_key(b"pk") == PeerId.from_public_key(b"pk")
+
+
+def test_different_keys_different_ids():
+    assert PeerId.from_public_key(b"a") != PeerId.from_public_key(b"b")
+
+
+def test_base58_roundtrip():
+    pid = PeerId.from_public_key(b"some key")
+    assert PeerId.decode(pid.encode()) == pid
+
+
+def test_textual_form_is_qm_prefixed():
+    # sha2-256 multihashes render as Qm... in base58btc.
+    assert PeerId.from_public_key(b"key").encode().startswith("Qm")
+
+
+def test_dht_key_is_sha256_of_multihash_bytes():
+    pid = PeerId.from_public_key(b"key")
+    assert pid.dht_key() == hashlib.sha256(pid.to_bytes()).digest()
+    assert len(pid.dht_key()) == 32
+
+
+def test_matches_public_key():
+    pid = PeerId.from_public_key(b"the key")
+    assert pid.matches_public_key(b"the key")
+    assert not pid.matches_public_key(b"imposter")
+
+
+def test_ordering_and_hashing():
+    ids = sorted({PeerId.from_public_key(bytes([i])) for i in range(5)})
+    assert len(ids) == 5
+    assert all(a.to_bytes() <= b.to_bytes() for a, b in zip(ids, ids[1:]))
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_roundtrip_property(key):
+    pid = PeerId.from_public_key(key)
+    assert PeerId.decode(pid.encode()) == pid

@@ -1,0 +1,74 @@
+"""Tests for the 900-entry address book."""
+
+import pytest
+
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+from repro.node.addressbook import ADDRESS_BOOK_CAPACITY, AddressBook
+
+
+def pid(n: int) -> PeerId:
+    return PeerId.from_public_key(b"ab-%d" % n)
+
+
+def addr(n: int) -> tuple[Multiaddr, ...]:
+    return (Multiaddr.parse("/ip4/10.1.%d.%d/tcp/4001" % (n // 250, n % 250 + 1)),)
+
+
+def test_paper_capacity():
+    # Section 3.2: "an address book of up to 900 recently seen peers".
+    assert ADDRESS_BOOK_CAPACITY == 900
+
+
+def test_record_and_lookup():
+    book = AddressBook()
+    book.record(pid(1), addr(1))
+    assert book.lookup(pid(1)) == addr(1)
+    assert book.hits == 1
+
+
+def test_miss_counted():
+    book = AddressBook()
+    assert book.lookup(pid(1)) is None
+    assert book.misses == 1
+
+
+def test_capacity_evicts_lru():
+    book = AddressBook(capacity=3)
+    for n in range(3):
+        book.record(pid(n), addr(n))
+    book.lookup(pid(0))  # refresh 0
+    book.record(pid(3), addr(3))  # evicts 1 (least recently used)
+    assert pid(1) not in book
+    assert pid(0) in book
+    assert len(book) == 3
+
+
+def test_record_refreshes_existing():
+    book = AddressBook(capacity=2)
+    book.record(pid(0), addr(0))
+    book.record(pid(1), addr(1))
+    book.record(pid(0), addr(9))  # refresh + update
+    book.record(pid(2), addr(2))  # evicts 1
+    assert book.lookup(pid(0)) == addr(9)
+    assert pid(1) not in book
+
+
+def test_forget():
+    book = AddressBook()
+    book.record(pid(1), addr(1))
+    book.forget(pid(1))
+    assert pid(1) not in book
+    book.forget(pid(1))  # idempotent
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        AddressBook(capacity=0)
+
+
+def test_never_exceeds_capacity():
+    book = AddressBook(capacity=10)
+    for n in range(100):
+        book.record(pid(n), addr(n))
+        assert len(book) <= 10

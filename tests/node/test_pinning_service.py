@@ -1,0 +1,118 @@
+"""Tests for the pinning service (Section 3.1's NAT'ed-publisher path)."""
+
+import pytest
+
+from repro.dht.bootstrap import populate_routing_tables
+from repro.errors import PublishError
+from repro.node.host import IpfsNode
+from repro.node.pinning_service import PinningService
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimNetwork
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(90, "net"))
+    rng = derive_rng(90, "world")
+    service_node = IpfsNode(
+        sim, net, derive_rng(90, "svc"), region=Region.NA_EAST,
+        peer_class=PeerClass.DATACENTER,
+    )
+    # The paying customer is behind a NAT: a DHT client that cannot
+    # host content itself.
+    client = IpfsNode(
+        sim, net, derive_rng(90, "client"), region=Region.EU,
+        peer_class=PeerClass.HOME, nat_private=True,
+    )
+    backdrop = [
+        IpfsNode(sim, net, derive_rng(90, "bg", str(i)),
+                 region=rng.choice(list(Region)))
+        for i in range(50)
+    ]
+    populate_routing_tables(
+        [n.dht for n in [service_node, client, *backdrop]], rng
+    )
+    service = PinningService(service_node)
+    return sim, net, service, client, backdrop
+
+
+def _pin(sim, service, client, data):
+    def proc():
+        return (yield from service.pin_bytes(client, data))
+
+    return sim.run_process(proc())
+
+
+class TestUploadAndPublish:
+    def test_nat_client_content_becomes_retrievable(self, world):
+        sim, net, service, client, backdrop = world
+        data = derive_rng(1, "d").randbytes(300_000)
+
+        def setup():
+            yield from service.node.publish_peer_record()
+
+        sim.run_process(setup())
+        result = _pin(sim, service, client, data)
+        assert result.publish_receipt.peers_stored > 0
+        # Anyone can now fetch it — served by the SERVICE, not the client.
+        getter = backdrop[7]
+
+        def fetch():
+            getter.disconnect_all()
+            return (yield from getter.retrieve_bytes(result.cid))
+
+        fetched, receipt = sim.run_process(fetch())
+        assert fetched == data
+        assert receipt.provider == service.node.peer_id
+
+    def test_upload_pays_transfer_time(self, world):
+        sim, net, service, client, backdrop = world
+        small = _pin(sim, service, client, b"x" * 10_000)
+        large = _pin(sim, service, client, derive_rng(2, "d").randbytes(3_000_000))
+        # 3 MB over a 2.5 MB/s home uplink dominates the small upload.
+        assert large.upload_duration > small.upload_duration + 0.5
+
+    def test_content_is_pinned_on_service(self, world):
+        sim, net, service, client, backdrop = world
+        result = _pin(sim, service, client, b"keep me" * 100)
+        assert service.node.blockstore.is_pinned(result.cid)
+        assert result.cid in service.pins
+
+
+class TestUnpinAndBilling:
+    def test_invoice_grows_with_time_and_bytes(self, world):
+        sim, net, service, client, backdrop = world
+        result = _pin(sim, service, client, b"z" * 100_000)
+        sim.run(until=sim.now + 15 * 24 * 3600)  # half a month
+        invoice = service.invoice(client.peer_id)
+        expected = 100_000 * 0.5 * service.price
+        assert invoice == pytest.approx(expected, rel=0.1)
+
+    def test_unpin_stops_billing(self, world):
+        sim, net, service, client, backdrop = world
+        result = _pin(sim, service, client, b"z" * 50_000)
+        sim.run(until=sim.now + 5 * 24 * 3600)
+        service.unpin(client, result.cid)
+        frozen = service.invoice(client.peer_id)
+        sim.run(until=sim.now + 30 * 24 * 3600)
+        assert service.invoice(client.peer_id) == pytest.approx(frozen)
+        assert not service.node.blockstore.is_pinned(result.cid)
+
+    def test_unpin_requires_ownership(self, world):
+        sim, net, service, client, backdrop = world
+        result = _pin(sim, service, client, b"mine" * 50)
+        with pytest.raises(PublishError):
+            service.unpin(backdrop[0], result.cid)
+
+    def test_invoice_for_unknown_client_is_zero(self, world):
+        sim, net, service, client, backdrop = world
+        assert service.invoice(backdrop[3].peer_id) == 0.0
+
+    def test_stored_bytes(self, world):
+        sim, net, service, client, backdrop = world
+        before = service.stored_bytes()
+        _pin(sim, service, client, b"q" * 12_345)
+        assert service.stored_bytes() == before + 12_345

@@ -1,0 +1,187 @@
+"""Tests for circuit relaying and DCUtR hole punching."""
+
+import pytest
+
+from repro.errors import DialError
+from repro.multiformats.peerid import PeerId
+from repro.simnet.latency import Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.relay import PUNCH_SUCCESS, CircuitDialer, NatType
+from repro.simnet.sim import Simulator
+from repro.utils.rng import derive_rng
+
+
+def make_world(seed=1):
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(seed, "net"))
+    dialer = CircuitDialer(net)
+    relay = SimHost(PeerId.from_public_key(b"relay"), region=Region.EU)
+    public = SimHost(PeerId.from_public_key(b"public"), region=Region.NA_WEST)
+    natted = SimHost(
+        PeerId.from_public_key(b"natted"), region=Region.ASIA_EAST, nat_private=True
+    )
+    for host in (relay, public, natted):
+        net.register(host)
+    return sim, net, dialer, relay, public, natted
+
+
+class TestReservations:
+    def test_reserve_with_relay(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        dialer.enable_relay(relay)
+        assert dialer.reserve(natted, relay.peer_id)
+        assert dialer.relays_for(natted.peer_id) == [relay.peer_id]
+
+    def test_nat_host_cannot_relay(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        with pytest.raises(DialError):
+            dialer.enable_relay(natted)
+
+    def test_reservation_capacity(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        dialer.enable_relay(relay, capacity=1)
+        assert dialer.reserve(natted, relay.peer_id)
+        other = SimHost(PeerId.from_public_key(b"other"), nat_private=True)
+        net.register(other)
+        assert not dialer.reserve(other, relay.peer_id)
+
+    def test_reserve_at_non_relay_rejected(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        with pytest.raises(DialError):
+            dialer.reserve(natted, public.peer_id)
+
+
+class TestCircuitDial:
+    def test_direct_dial_when_reachable(self):
+        sim, net, dialer, relay, public, natted = make_world()
+
+        def proc():
+            return (yield from dialer.dial(public, relay.peer_id))
+
+        connection = sim.run_process(proc())
+        assert connection.relay is None
+
+    def test_nat_peer_reachable_through_relay(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        dialer.enable_relay(relay)
+        dialer.reserve(natted, relay.peer_id)
+
+        def proc():
+            return (yield from dialer.dial(public, natted.peer_id))
+
+        connection = sim.run_process(proc())
+        assert connection.relay == relay.peer_id
+        assert public.is_connected(natted.peer_id)
+        assert natted.is_connected(public.peer_id)
+
+    def test_nat_peer_without_reservation_unreachable(self):
+        sim, net, dialer, relay, public, natted = make_world()
+
+        def proc():
+            try:
+                yield from dialer.dial(public, natted.peer_id)
+            except DialError:
+                return "failed"
+
+        assert sim.run_process(proc()) == "failed"
+
+    def test_relayed_rpc_pays_both_hops(self):
+        sim, net, dialer, relay, public, natted = make_world(seed=2)
+        dialer.enable_relay(relay)
+        dialer.reserve(natted, relay.peer_id)
+        natted.register_handler("PING", lambda s, p: ("pong", 16))
+
+        def relayed():
+            yield from dialer.dial(public, natted.peer_id)
+            start = sim.now
+            yield net.rpc(public, natted.peer_id, "PING", None)
+            return sim.now - start
+
+        relayed_rtt = sim.run_process(relayed())
+        # Direct NA_WEST<->ASIA_EAST RTT ~0.11s; via an EU relay the
+        # path is NA_WEST->EU->ASIA_EAST (~0.36 s round trip).
+        assert relayed_rtt > 0.25
+
+    def test_offline_relay_skipped(self):
+        sim, net, dialer, relay, public, natted = make_world()
+        dialer.enable_relay(relay)
+        dialer.reserve(natted, relay.peer_id)
+        relay.set_online(False)
+
+        def proc():
+            try:
+                yield from dialer.dial(public, natted.peer_id)
+            except DialError:
+                return "failed"
+
+        assert sim.run_process(proc()) == "failed"
+
+
+class TestHolePunch:
+    def _relayed(self, seed=3, nat_type=NatType.CONE):
+        sim, net, dialer, relay, public, natted = make_world(seed=seed)
+        natted.nat_type = nat_type
+        dialer.enable_relay(relay)
+        dialer.reserve(natted, relay.peer_id)
+
+        def connect():
+            return (yield from dialer.dial(public, natted.peer_id))
+
+        sim.run_process(connect())
+        return sim, net, dialer, public, natted
+
+    def test_punch_requires_relayed_connection(self):
+        sim, net, dialer, relay, public, natted = make_world()
+
+        def proc():
+            try:
+                yield from dialer.hole_punch(public, natted.peer_id)
+            except DialError:
+                return "failed"
+
+        assert sim.run_process(proc()) == "failed"
+
+    def test_successful_punch_upgrades_connection(self):
+        # Find a seed where the cone-NAT punch succeeds (85% each try).
+        for seed in range(10):
+            sim, net, dialer, public, natted = self._relayed(seed=seed)
+
+            def proc():
+                return (yield from dialer.hole_punch(public, natted.peer_id))
+
+            if sim.run_process(proc()):
+                assert public.connections[natted.peer_id].relay is None
+                assert natted.connections[public.peer_id].relay is None
+                return
+        pytest.fail("no successful punch in 10 attempts at 85% each")
+
+    def test_failed_punch_keeps_relayed_connection(self):
+        for seed in range(20):
+            sim, net, dialer, public, natted = self._relayed(
+                seed=seed, nat_type=NatType.SYMMETRIC
+            )
+
+            def proc():
+                return (yield from dialer.hole_punch(public, natted.peer_id))
+
+            if not sim.run_process(proc()):
+                assert public.connections[natted.peer_id].relay is not None
+                return
+        pytest.fail("no failed punch in 20 attempts at 15% success")
+
+    def test_punch_statistics_match_nat_types(self):
+        successes = 0
+        attempts = 40
+        for seed in range(attempts):
+            sim, net, dialer, public, natted = self._relayed(seed=100 + seed)
+
+            def proc():
+                return (yield from dialer.hole_punch(public, natted.peer_id))
+
+            if sim.run_process(proc()):
+                successes += 1
+        # Cone NAT: 85% +- sampling noise.
+        assert 0.6 < successes / attempts <= 1.0
+
+    def test_success_probability_table(self):
+        assert PUNCH_SUCCESS["cone"] > PUNCH_SUCCESS["symmetric"]

@@ -1,0 +1,283 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.sim import (
+    Future,
+    Simulator,
+    TimeoutError_,
+    all_of,
+    any_of,
+    sleep,
+    with_timeout,
+)
+
+
+class TestScheduler:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=3.0)
+        assert fired == []
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == ["late"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append("x"))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert timer.cancelled
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_max_events_backstop(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestFuture:
+    def test_resolve_once(self):
+        future = Future()
+        future.resolve(1)
+        future.resolve(2)  # second settle ignored (late RPC replies)
+        assert future.result() == 1
+
+    def test_fail(self):
+        future = Future()
+        future.fail(ValueError("boom"))
+        assert future.failed
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_result_before_settle_raises(self):
+        with pytest.raises(SimulationError):
+            Future().result()
+
+    def test_callback_after_done_fires_immediately(self):
+        future = Future.resolved(7)
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result()))
+        assert seen == [7]
+
+
+class TestProcess:
+    def test_sleep_advances_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.5
+            yield 2.5
+            return sim.now
+
+        assert sim.run_process(proc()) == 4.0
+
+    def test_yield_future(self):
+        sim = Simulator()
+        future = Future()
+        sim.schedule(3.0, lambda: future.resolve("value"))
+
+        def proc():
+            value = yield future
+            return (sim.now, value)
+
+        assert sim.run_process(proc()) == (3.0, "value")
+
+    def test_failed_future_raises_inside_process(self):
+        sim = Simulator()
+        future = Future()
+        sim.schedule(1.0, lambda: future.fail(RuntimeError("bad")))
+
+        def proc():
+            try:
+                yield future
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert sim.run_process(proc()) == "caught bad"
+
+    def test_uncaught_exception_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            raise KeyError("oops")
+
+        with pytest.raises(KeyError):
+            sim.run_process(proc())
+
+    def test_yield_none_resumes_same_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield None
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_subprocess_via_yield_from(self):
+        sim = Simulator()
+
+        def inner():
+            yield 2.0
+            return "inner-result"
+
+        def outer():
+            value = yield from inner()
+            return (sim.now, value)
+
+        assert sim.run_process(outer()) == (2.0, "inner-result")
+
+    def test_yield_process_waits_for_it(self):
+        sim = Simulator()
+
+        def worker():
+            yield 5.0
+            return 42
+
+        def boss():
+            child = sim.spawn(worker())
+            value = yield child
+            return (sim.now, value)
+
+        assert sim.run_process(boss()) == (5.0, 42)
+
+    def test_sleep_helper(self):
+        sim = Simulator()
+
+        def proc():
+            yield from sleep(2.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 2.0
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future()  # never settles
+
+        with pytest.raises(SimulationError):
+            sim.run_process(proc())
+
+    def test_negative_sleep_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        with pytest.raises(SimulationError):
+            sim.run_process(proc())
+
+
+class TestCombinators:
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        fast, slow = Future(), Future()
+        sim.schedule(1.0, lambda: fast.resolve("fast"))
+        sim.schedule(2.0, lambda: slow.resolve("slow"))
+
+        def proc():
+            index, value = yield any_of([slow, fast])
+            return (sim.now, index, value)
+
+        assert sim.run_process(proc()) == (1.0, 1, "fast")
+
+    def test_any_of_empty_raises(self):
+        with pytest.raises(SimulationError):
+            any_of([])
+
+    def test_all_of_collects_in_order(self):
+        sim = Simulator()
+        a, b = Future(), Future()
+        sim.schedule(2.0, lambda: a.resolve("a"))
+        sim.schedule(1.0, lambda: b.resolve("b"))
+
+        def proc():
+            results = yield all_of([a, b])
+            return (sim.now, results)
+
+        assert sim.run_process(proc()) == (2.0, ["a", "b"])
+
+    def test_all_of_captures_failures_without_abort(self):
+        sim = Simulator()
+        good, bad = Future(), Future()
+        sim.schedule(1.0, lambda: bad.fail(RuntimeError("x")))
+        sim.schedule(2.0, lambda: good.resolve("ok"))
+
+        def proc():
+            results = yield all_of([good, bad])
+            return results
+
+        results = sim.run_process(proc())
+        assert results[0] == "ok"
+        assert isinstance(results[1], RuntimeError)
+
+    def test_all_of_empty_resolves_immediately(self):
+        assert all_of([]).result() == []
+
+    def test_with_timeout_expires(self):
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield with_timeout(sim, Future(), 3.0)
+            except TimeoutError_:
+                return sim.now
+
+        assert sim.run_process(proc()) == 3.0
+
+    def test_with_timeout_passes_through_fast_result(self):
+        sim = Simulator()
+        future = Future()
+        sim.schedule(1.0, lambda: future.resolve("quick"))
+
+        def proc():
+            value = yield with_timeout(sim, future, 5.0)
+            return (sim.now, value)
+
+        assert sim.run_process(proc()) == (1.0, "quick")
+        # the timeout timer must not keep the queue alive past 1.0
+        sim.run()
+        assert sim.now == 1.0

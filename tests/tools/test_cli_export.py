@@ -1,0 +1,126 @@
+"""Tests for the CLI and dataset exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.deployment import CrawlCampaignConfig, run_crawl_timeseries
+from repro.experiments.gateway_exp import (
+    GatewayExperimentConfig,
+    run_gateway_experiment,
+)
+from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.tools import export
+from repro.tools.cli import main
+from repro.utils.rng import derive_rng
+from repro.workloads.gateway_trace import GatewayTraceConfig
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+@pytest.fixture(scope="module")
+def perf_results():
+    population = generate_population(
+        PopulationConfig(n_peers=200), derive_rng(30, "cli-pop")
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=30),
+        vantage_regions=["eu_central_1", "us_west_1"],
+    )
+    return run_perf_experiment(
+        scenario,
+        PerfConfig(rounds=1, seed=30, regions=("eu_central_1", "us_west_1")),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    population = generate_population(
+        PopulationConfig(n_peers=80), derive_rng(31, "cli-pop")
+    )
+    scenario = build_scenario(population, ScenarioConfig(seed=31))
+    return run_crawl_timeseries(
+        scenario, CrawlCampaignConfig(duration_s=3600.0, crawl_interval_s=1800.0)
+    )
+
+
+class TestExporters:
+    def test_perf_jsonl(self, perf_results, tmp_path):
+        path = tmp_path / "perf.jsonl"
+        rows = export.export_perf_dataset(perf_results, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == rows > 0
+        record = json.loads(lines[0])
+        assert record["operation"] in ("publication", "retrieval")
+        assert record["total_s"] > 0
+
+    def test_crawl_csv(self, campaign_results, tmp_path):
+        path = tmp_path / "crawl.csv"
+        rows = export.export_crawl_dataset(campaign_results, path)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == rows > 0
+        assert parsed[0]["dialable"] in ("0", "1")
+
+    def test_session_csv(self, campaign_results, tmp_path):
+        path = tmp_path / "sessions.csv"
+        rows = export.export_session_dataset(campaign_results, path)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == rows
+        for row in parsed[:5]:
+            assert float(row["length_s"]) >= 0
+
+    def test_gateway_csv(self, tmp_path):
+        results = run_gateway_experiment(
+            GatewayExperimentConfig(trace=GatewayTraceConfig(scale=2000))
+        )
+        path = tmp_path / "gateway.csv"
+        rows = export.export_gateway_log(results.log, path)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == rows == len(results.log)
+        assert {row["cache_tier"] for row in parsed} <= {
+            "nginx cache", "IPFS node store", "Non Cached",
+        }
+
+
+class TestCli:
+    def test_deployment_command(self, capsys):
+        assert main(["deployment", "--peers", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig 5" in output
+        assert "Table 2" in output
+        assert "CHINANET" in output
+
+    def test_gateway_command_with_export(self, capsys, tmp_path):
+        log = tmp_path / "log.csv"
+        assert main(["gateway", "--scale", "2000", "--export", str(log)]) == 0
+        output = capsys.readouterr().out
+        assert "Table 5" in output
+        assert log.exists()
+
+    def test_perf_command(self, capsys, tmp_path):
+        records = tmp_path / "ops.jsonl"
+        assert main([
+            "perf", "--peers", "200", "--rounds", "1",
+            "--export", str(records),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Table 4" in output
+        assert records.exists()
+
+    def test_crawl_command(self, capsys, tmp_path):
+        out = tmp_path / "crawl.csv"
+        assert main([
+            "crawl", "--peers", "60", "--hours", "1",
+            "--export", str(out),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Fig 4a" in output
+        assert out.exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,90 @@
+"""Tests for the multibase base encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.utils import baseenc
+
+_CODECS = [
+    (baseenc.base16_encode, baseenc.base16_decode),
+    (baseenc.base32_encode, baseenc.base32_decode),
+    (baseenc.base36_encode, baseenc.base36_decode),
+    (baseenc.base58btc_encode, baseenc.base58btc_decode),
+    (baseenc.base64_encode, baseenc.base64_decode),
+    (baseenc.base64url_encode, baseenc.base64url_decode),
+]
+
+
+@pytest.mark.parametrize("encode,decode", _CODECS)
+@given(data=st.binary(max_size=128))
+def test_roundtrip(encode, decode, data):
+    assert decode(encode(data)) == data
+
+
+class TestBase58:
+    def test_known_vector_hello(self):
+        # The canonical 'Hello World!' base58 test vector.
+        assert baseenc.base58btc_encode(b"Hello World!") == "2NEpo7TZRRrLZSi2U"
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\x01"
+        encoded = baseenc.base58btc_encode(data)
+        assert encoded.startswith("11")
+        assert baseenc.base58btc_decode(encoded) == data
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(DecodeError):
+            baseenc.base58btc_decode("0OIl")  # excluded from the alphabet
+
+    def test_empty_roundtrip(self):
+        assert baseenc.base58btc_decode(baseenc.base58btc_encode(b"")) == b""
+
+
+class TestBase32:
+    def test_lowercase_unpadded(self):
+        encoded = baseenc.base32_encode(b"hello")
+        assert encoded == encoded.lower()
+        assert "=" not in encoded
+
+    def test_uppercase_input_rejected(self):
+        with pytest.raises(DecodeError):
+            baseenc.base32_decode("NBSWY3DP")
+
+    def test_known_vector(self):
+        assert baseenc.base32_encode(b"hello") == "nbswy3dp"
+
+
+class TestBase16:
+    def test_known_vector(self):
+        assert baseenc.base16_encode(b"\xde\xad\xbe\xef") == "deadbeef"
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(DecodeError):
+            baseenc.base16_decode("zz")
+
+
+class TestBase64:
+    def test_unpadded(self):
+        assert "=" not in baseenc.base64_encode(b"a")
+
+    def test_url_safe_characters(self):
+        data = bytes(range(256))
+        encoded = baseenc.base64url_encode(data)
+        assert "+" not in encoded
+        assert "/" not in encoded
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(DecodeError):
+            baseenc.base64_decode("!!!!")
+
+
+class TestBase36:
+    def test_lowercase_only(self):
+        with pytest.raises(DecodeError):
+            baseenc.base36_decode("ABC")
+
+    def test_leading_zero_bytes(self):
+        data = b"\x00\x01"
+        assert baseenc.base36_decode(baseenc.base36_encode(data)) == data

@@ -1,0 +1,112 @@
+"""Tests for percentile / CDF / correlation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Cdf, mean, pearson_correlation, percentile, percentiles
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 90) == 7
+
+    def test_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        values = [0.3, 1.5, 2.2, 8.8, 4.1, 0.01]
+        for q in (5, 25, 50, 75, 90, 95, 99):
+            assert percentile(values, q) == pytest.approx(float(numpy.percentile(values, q)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentiles_batch_matches_single(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        qs = [10, 50, 90]
+        assert percentiles(values, qs) == [percentile(values, q) for q in qs]
+
+
+class TestCdf:
+    def test_from_samples_sorted(self):
+        cdf = Cdf.from_samples([3, 1, 2])
+        assert cdf.xs == (1.0, 2.0, 3.0)
+        assert cdf.ps == (pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0)
+
+    def test_probability_at(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.probability_at(0) == 0
+        assert cdf.probability_at(2) == 0.5
+        assert cdf.probability_at(10) == 1.0
+
+    def test_value_at_is_inverse(self):
+        cdf = Cdf.from_samples(range(1, 101))
+        assert cdf.value_at(0.5) == 50
+        assert cdf.value_at(1.0) == 100
+
+    def test_value_at_invalid_p(self):
+        cdf = Cdf.from_samples([1])
+        with pytest.raises(ValueError):
+            cdf.value_at(0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([])
+
+    def test_evaluate_grid(self):
+        cdf = Cdf.from_samples([1, 2])
+        assert cdf.evaluate([0, 1, 2]) == [(0, 0.0), (1, 0.5), (2, 1.0)]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_monotone_property(self, samples):
+        cdf = Cdf.from_samples(samples)
+        assert all(p1 <= p2 for p1, p2 in zip(cdf.ps, cdf.ps[1:]))
+        assert cdf.ps[-1] == 1.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, -1, 1, -1]
+        assert abs(pearson_correlation(xs, ys)) < 0.5
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [1, 2])
+
+    def test_constant_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 1], [1, 2])
+
+    def test_bounded(self):
+        r = pearson_correlation([1, 5, 2, 8, 3], [2, 1, 9, 3, 7])
+        assert -1 <= r <= 1 and not math.isnan(r)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2
+    with pytest.raises(ValueError):
+        mean([])

@@ -1,0 +1,93 @@
+"""Unit and property tests for unsigned varint framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.utils.varint import (
+    MAX_VARINT_VALUE,
+    decode_varint,
+    encode_varint,
+    read_varint,
+)
+
+
+class TestEncode:
+    def test_zero_is_single_byte(self):
+        assert encode_varint(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        assert encode_varint(1) == b"\x01"
+        assert encode_varint(127) == b"\x7f"
+
+    def test_boundary_128_uses_two_bytes(self):
+        assert encode_varint(128) == b"\x80\x01"
+
+    def test_known_vector_300(self):
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(MAX_VARINT_VALUE + 1)
+
+    def test_max_value_encodes(self):
+        assert len(encode_varint(MAX_VARINT_VALUE)) == 9
+
+
+class TestDecode:
+    def test_roundtrip_known_values(self):
+        for value in (0, 1, 127, 128, 255, 300, 16384, 2**32, MAX_VARINT_VALUE):
+            assert decode_varint(encode_varint(value)) == value
+
+    def test_truncated_raises(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"")
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x01\x02")
+
+    def test_non_minimal_encoding_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\x80\x00")
+
+    def test_over_long_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_varint(b"\xff" * 10)
+
+    def test_read_varint_reports_offset(self):
+        data = b"\xff" + encode_varint(300) + b"\x99"
+        value, end = read_varint(data, 1)
+        assert value == 300
+        assert end == 3
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT_VALUE))
+def test_roundtrip_property(value):
+    assert decode_varint(encode_varint(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT_VALUE))
+def test_encoding_length_matches_bit_length(value):
+    expected = max(1, -(-value.bit_length() // 7))
+    assert len(encode_varint(value)) == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=MAX_VARINT_VALUE), min_size=1, max_size=8))
+def test_concatenated_stream_parses(values):
+    stream = b"".join(encode_varint(v) for v in values)
+    offset = 0
+    decoded = []
+    while offset < len(stream):
+        value, offset = read_varint(stream, offset)
+        decoded.append(value)
+    assert decoded == values
