@@ -1,0 +1,82 @@
+"""Chaos sweep: retrieval success and latency vs injected RPC loss.
+
+The paper measures the live network's steady state; this bench injects
+deterministic RPC loss and sweeps its intensity, running the retrieval
+protocol once with the seed's fire-and-forget stack and once with the
+retry/backoff stack. The shapes to reproduce: success degrades
+gracefully (monotonically-ish) with intensity, and retries buy strictly
+more success at 10 % loss.
+"""
+
+import dataclasses
+
+from conftest import save_report
+
+from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
+from repro.experiments.report import check_shape, render_table
+
+CHAOS_PEERS = 300
+CHAOS_RETRIEVALS = 12
+INTENSITIES = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+def test_chaos_sweep(benchmark):
+    config = ChaosConfig(
+        n_peers=CHAOS_PEERS,
+        intensities=INTENSITIES,
+        retrievals_per_level=CHAOS_RETRIEVALS,
+    )
+
+    def run():
+        baseline = run_chaos_experiment(
+            dataclasses.replace(config, with_retries=False)
+        )
+        return baseline, run_chaos_experiment(config)
+
+    baseline, resilient = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    def fmt_pcts(level):
+        pcts = level.latency_percentiles()
+        return " / ".join(f"{x:.1f}" for x in pcts) if pcts else "-"
+
+    rows = [
+        (
+            f"{base.intensity:.0%}",
+            f"{base.success_rate:.0%}", fmt_pcts(base),
+            f"{ret.success_rate:.0%}", fmt_pcts(ret),
+            ret.retries_attempted,
+        )
+        for base, ret in zip(baseline.levels, resilient.levels)
+    ]
+    report = render_table(
+        "Chaos sweep — retrieval success vs injected RPC loss",
+        ["loss", "success (base)", "p50/p90/p95 (base)",
+         "success (retry)", "p50/p90/p95 (retry)", "retries"],
+        rows,
+        note=f"{CHAOS_RETRIEVALS} retrievals per level, {CHAOS_PEERS} peers",
+    )
+
+    by_intensity = {level.intensity: level for level in baseline.levels}
+    retry_by_intensity = {level.intensity: level for level in resilient.levels}
+    checks = [
+        check_shape(
+            "baseline success at 30% loss is no better than at 0%",
+            by_intensity[0.3].success_rate <= by_intensity[0.0].success_rate,
+        ),
+        check_shape(
+            "retries beat fire-and-forget at 10% loss "
+            f"({retry_by_intensity[0.1].success_rate:.0%} vs "
+            f"{by_intensity[0.1].success_rate:.0%})",
+            retry_by_intensity[0.1].success_rate
+            > by_intensity[0.1].success_rate,
+        ),
+        check_shape(
+            "faults were actually injected at every non-zero level",
+            all(
+                level.faults_injected > 0
+                for level in baseline.levels if level.intensity > 0
+            ),
+        ),
+    ]
+    save_report("chaos_sweep", report + "\n" + "\n".join(checks))
+    assert all("PASS" in line for line in checks)

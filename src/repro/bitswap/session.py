@@ -8,6 +8,7 @@ Rocha et al., "Accelerating Content Routing with Bitswap").
 
 from __future__ import annotations
 
+import random
 from collections.abc import Generator
 
 from repro.bitswap.engine import BitswapEngine
@@ -16,18 +17,58 @@ from repro.merkledag.dag import DagNode
 from repro.multiformats.cid import Cid
 from repro.multiformats.multicodec import CODEC_DAG_PB
 from repro.multiformats.peerid import PeerId
+from repro.simnet.sim import Future, TimeoutError_, with_timeout
+from repro.utils.retry import RetryPolicy, retry
 
 
 class BitswapSession:
-    """Fetches whole Merkle-DAGs, tracking useful peers."""
+    """Fetches whole Merkle-DAGs, tracking useful peers.
 
-    def __init__(self, engine: BitswapEngine, providers: list[PeerId]) -> None:
+    With a ``retry_policy`` the session re-broadcasts a want to the
+    same provider after ``silence_timeout_s`` of no answer (go-bitswap
+    re-sends its wantlist on session timeouts) before moving to the
+    next provider; without one (the default) a provider gets exactly
+    one chance per block, as the seed behaviour had it.
+    """
+
+    def __init__(
+        self,
+        engine: BitswapEngine,
+        providers: list[PeerId],
+        retry_policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        silence_timeout_s: float = 8.0,
+    ) -> None:
         if not providers:
             raise RetrievalError("session needs at least one provider")
         self.engine = engine
         self.providers = list(providers)
+        self.retry_policy = retry_policy
+        self.rng = rng
+        self.silence_timeout_s = silence_timeout_s
         self.blocks_fetched = 0
         self.bytes_fetched = 0
+
+    def _fetch_from(self, cid: Cid, peer_id: PeerId) -> Generator:
+        """Fetch one block from one provider, re-wanting after silence."""
+        policy = self.retry_policy
+        if policy is None or not policy.enabled:
+            result = yield from self.engine.fetch_block(cid, peer_id)
+            return result
+        network = self.engine.network
+
+        def attempt(_attempt: int) -> Future:
+            process = self.engine.sim.spawn(self.engine.fetch_block(cid, peer_id))
+            return with_timeout(self.engine.sim, process.future, self.silence_timeout_s)
+
+        def on_retry(_attempt: int, error: BaseException) -> None:
+            network.stats.retries_attempted += 1
+            if isinstance(error, TimeoutError_):
+                network.stats.rpcs_timed_out += 1
+
+        rng = self.rng if self.rng is not None else random.Random(0)
+        result = yield from retry(self.engine.sim, rng, policy, attempt, on_retry)
+        return result
 
     def _fetch_one(self, cid: Cid) -> Generator:
         """Try each session provider in turn for one block."""
@@ -36,7 +77,7 @@ class BitswapSession:
         last_error: Exception | None = None
         for peer_id in list(self.providers):
             try:
-                result = yield from self.engine.fetch_block(cid, peer_id)
+                result = yield from self._fetch_from(cid, peer_id)
             except Exception as exc:  # noqa: BLE001 - try next provider
                 last_error = exc
                 # Peers that fail stop being preferred for this session.

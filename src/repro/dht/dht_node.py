@@ -35,7 +35,8 @@ from repro.multiformats.cid import Cid
 from repro.multiformats.multiaddr import Multiaddr
 from repro.multiformats.peerid import PeerId
 from repro.simnet.network import SimHost, SimNetwork
-from repro.simnet.sim import Simulator, all_of, with_timeout
+from repro.simnet.sim import Future, Simulator, TimeoutError_, all_of, with_timeout
+from repro.utils.retry import retry
 
 #: How long a record holder trusts a provider's self-reported address
 #: (go-ipfs peerstore provider-address TTL is 30 minutes).
@@ -60,7 +61,9 @@ class DhtNode:
         self.rng = rng
         self.server = server
         self.config = lookup_config if lookup_config is not None else LookupConfig()
-        self.routing_table = RoutingTable(host.peer_id)
+        self.routing_table = RoutingTable(
+            host.peer_id, failure_threshold=self.config.failure_threshold
+        )
         self.provider_store = ProviderStore()
         self.peer_record_store = PeerRecordStore()
         #: addresses self-reported by providers in ADD_PROVIDER, kept
@@ -175,6 +178,49 @@ class DhtNode:
             if remote is not None and getattr(remote, "dht_server", False):
                 self.routing_table.add(peer_id)
 
+    def _store_rpc(
+        self,
+        peer_id: PeerId,
+        method: str,
+        request,
+        request_size: int,
+        timeout_s: float,
+    ) -> Future:
+        """One record-store RPC, re-attempted under ``store_retry``.
+
+        With the default (disabled) policy this is exactly the bare
+        timeout-wrapped RPC the fire-and-forget publisher always sent.
+        """
+
+        def attempt(_attempt: int) -> Future:
+            return with_timeout(
+                self.sim,
+                self.network.rpc(
+                    self.host, peer_id, method, request, request_size=request_size
+                ),
+                timeout_s,
+            )
+
+        policy = self.config.store_retry
+        if not policy.enabled:
+            return attempt(1)
+
+        def on_retry(_attempt: int, error: BaseException) -> None:
+            self.network.stats.retries_attempted += 1
+            if isinstance(error, TimeoutError_):
+                self.network.stats.rpcs_timed_out += 1
+
+        return self.sim.spawn(
+            retry(self.sim, self.rng, policy, attempt, on_retry)
+        ).future
+
+    def _count_store_outcomes(self, results: list) -> int:
+        """Tally stats for a store batch; returns the success count."""
+        self.network.stats.rpcs_timed_out += sum(
+            1 for result in results if isinstance(result, TimeoutError_)
+        )
+        return sum(1 for result in results if not isinstance(result, BaseException))
+
     def walk_closest(self, target_key: bytes) -> Generator:
         """DHT walk finding the k closest peers to ``target_key``.
 
@@ -212,21 +258,14 @@ class DhtNode:
         # deadline: a WebSocket-only target can burn its whole 45 s
         # handshake timeout here (Figure 9c's second spike).
         futures = [
-            with_timeout(
-                self.sim,
-                self.network.rpc(
-                    self.host,
-                    peer_id,
-                    rpc.ADD_PROVIDER,
-                    request,
-                    request_size=rpc.PROVIDER_RECORD_SIZE,
-                ),
-                60.0,
+            self._store_rpc(
+                peer_id, rpc.ADD_PROVIDER, request,
+                request_size=rpc.PROVIDER_RECORD_SIZE, timeout_s=60.0,
             )
             for peer_id in closest
         ]
         results = yield all_of(futures)
-        succeeded = sum(1 for result in results if not isinstance(result, BaseException))
+        succeeded = self._count_store_outcomes(results)
         rpc_duration = self.sim.now - rpc_start
         return {
             "cid": cid,
@@ -244,21 +283,14 @@ class DhtNode:
         key = key_for_peer(self.host.peer_id)
         closest, stats = yield from get_closest_peers(self, key)
         futures = [
-            with_timeout(
-                self.sim,
-                self.network.rpc(
-                    self.host,
-                    peer_id,
-                    rpc.PUT_PEER_RECORD,
-                    rpc.PutPeerRecordRequest(record),
-                    request_size=rpc.PEER_ENTRY_SIZE,
-                ),
-                self.config.rpc_timeout_s,
+            self._store_rpc(
+                peer_id, rpc.PUT_PEER_RECORD, rpc.PutPeerRecordRequest(record),
+                request_size=rpc.PEER_ENTRY_SIZE, timeout_s=self.config.rpc_timeout_s,
             )
             for peer_id in closest
         ]
         results = yield all_of(futures)
-        succeeded = sum(1 for result in results if not isinstance(result, BaseException))
+        succeeded = self._count_store_outcomes(results)
         return {"peers_stored": succeeded, "walk_stats": stats}
 
     def find_providers(self, cid: Cid, max_providers: int = 1) -> Generator:
@@ -273,20 +305,14 @@ class DhtNode:
         """Store an opaque value on the k closest peers (IPNS publish)."""
         closest, stats = yield from get_closest_peers(self, key)
         futures = [
-            with_timeout(
-                self.sim,
-                self.network.rpc(
-                    self.host,
-                    peer_id,
-                    rpc.PUT_VALUE,
-                    rpc.PutValueRequest(key, value),
-                    request_size=64 + len(value),
-                ),
-                self.config.rpc_timeout_s,
+            self._store_rpc(
+                peer_id, rpc.PUT_VALUE, rpc.PutValueRequest(key, value),
+                request_size=64 + len(value), timeout_s=self.config.rpc_timeout_s,
             )
             for peer_id in closest
         ]
         results = yield all_of(futures)
+        self._count_store_outcomes(results)
         stored = sum(
             1
             for result in results

@@ -27,7 +27,8 @@ from repro.dht import rpc
 from repro.dht.keyspace import key_for_cid, key_for_peer
 from repro.multiformats.cid import Cid
 from repro.multiformats.peerid import PeerId
-from repro.simnet.sim import Future, any_of, with_timeout
+from repro.simnet.sim import Future, TimeoutError_, any_of, with_timeout
+from repro.utils.retry import RetryPolicy, retry
 
 if TYPE_CHECKING:
     from repro.dht.dht_node import DhtNode
@@ -48,6 +49,16 @@ class LookupConfig:
     #: connections are opened in the background so dial failures prune
     #: the shortlist without blocking one of the α query slots.
     dial_ahead: int = 3
+    #: per-hop retry schedule; the default (max_attempts=1) reproduces
+    #: go-ipfs v0.10, which abandons a candidate on its first failure.
+    rpc_retry: RetryPolicy = RetryPolicy()
+    #: retry schedule for record-store RPCs (ADD_PROVIDER, PUT_VALUE,
+    #: PUT_PEER_RECORD); default off — the paper's publisher is
+    #: fire-and-forget.
+    store_retry: RetryPolicy = RetryPolicy()
+    #: consecutive query failures before a peer is evicted from the
+    #: routing table (1 = evict immediately, the v0.10 behaviour).
+    failure_threshold: int = 1
 
 
 @dataclass
@@ -104,14 +115,31 @@ class _Walk:
 
     def _launch(self, candidate: _Candidate, method: str, request: Any, size: int) -> None:
         candidate.state = "inflight"
-        self.stats.rpcs_sent += 1
-        future = with_timeout(
-            self.node.sim,
-            self.node.network.rpc(
-                self.node.host, candidate.peer_id, method, request, request_size=size
-            ),
-            self.config.rpc_timeout_s,
-        )
+        network = self.node.network
+
+        def attempt(attempt_index: int) -> Future:
+            self.stats.rpcs_sent += 1
+            return with_timeout(
+                self.node.sim,
+                network.rpc(
+                    self.node.host, candidate.peer_id, method, request,
+                    request_size=size,
+                ),
+                self.config.rpc_timeout_s,
+            )
+
+        policy = self.config.rpc_retry
+        if policy.enabled:
+            def on_retry(attempt_index: int, error: BaseException) -> None:
+                network.stats.retries_attempted += 1
+                if isinstance(error, TimeoutError_):
+                    network.stats.rpcs_timed_out += 1
+
+            future = self.node.sim.spawn(
+                retry(self.node.sim, self.node.rng, policy, attempt, on_retry)
+            ).future
+        else:
+            future = attempt(1)
         outcome: Future = Future()
         tag = self._next_tag
         self._next_tag += 1
@@ -147,7 +175,7 @@ class _Walk:
                 target = self.candidates.get(peer_id)
                 if future.failed and target is not None and target.state == "new":
                     target.state = "failed"
-                    self.node.routing_table.remove(peer_id)
+                    self.node.routing_table.record_failure(peer_id)
 
             self.node.network.dial(self.node.host, candidate.peer_id).add_callback(
                 on_dialed
@@ -193,12 +221,15 @@ class _Walk:
             if inner.failed:
                 candidate.state = "failed"
                 self.stats.rpcs_failed += 1
-                self.node.routing_table.remove(peer_id)
+                if isinstance(inner.exception(), TimeoutError_):
+                    self.node.network.stats.rpcs_timed_out += 1
+                self.node.routing_table.record_failure(peer_id)
                 continue
             candidate.state = "ok"
             self.stats.rpcs_ok += 1
             self.stats.hops = max(self.stats.hops, candidate.depth + 1)
             self.node.routing_table.add(peer_id)
+            self.node.routing_table.record_success(peer_id)
             response = inner.result()
             for closer in getattr(response, "closer_peers", ()):
                 self._add_candidate(closer, candidate.depth + 1)

@@ -33,16 +33,33 @@ class TableEntry:
 
 
 class RoutingTable:
-    """256 buckets of up to k = 20 peers, keyed by common prefix length."""
+    """256 buckets of up to k = 20 peers, keyed by common prefix length.
 
-    def __init__(self, own_id: PeerId, bucket_size: int = K_BUCKET_SIZE) -> None:
+    Peers accumulate a failure score via :meth:`record_failure`; after
+    ``failure_threshold`` consecutive RPC failures they are evicted (as
+    go-ipfs does). The default threshold of 1 reproduces the paper's
+    go-ipfs v0.10 behaviour — evict on the first failed query — while
+    chaos experiments raise it so transient injected faults do not
+    strip the table bare.
+    """
+
+    def __init__(
+        self,
+        own_id: PeerId,
+        bucket_size: int = K_BUCKET_SIZE,
+        failure_threshold: int = 1,
+    ) -> None:
         self.own_id = own_id
         self.own_key = key_for_peer(own_id)
         self.bucket_size = bucket_size
+        self.failure_threshold = max(1, failure_threshold)
         self._buckets: list[OrderedDict[PeerId, TableEntry]] = [
             OrderedDict() for _ in range(KEY_BITS)
         ]
         self._size = 0
+        self._failures: dict[PeerId, int] = {}
+        #: peers evicted by the failure score (degradation telemetry)
+        self.evictions = 0
 
     def __len__(self) -> int:
         return self._size
@@ -75,10 +92,36 @@ class RoutingTable:
 
     def remove(self, peer_id: PeerId) -> None:
         """Evict a peer (e.g. after a failed dial)."""
+        self._failures.pop(peer_id, None)
         bucket = self._buckets[self._bucket_for(peer_id)]
         if peer_id in bucket:
             del bucket[peer_id]
             self._size -= 1
+
+    # -- failure scoring ---------------------------------------------------
+
+    def record_success(self, peer_id: PeerId) -> None:
+        """A query succeeded: reset the peer's failure score."""
+        self._failures.pop(peer_id, None)
+
+    def record_failure(self, peer_id: PeerId) -> bool:
+        """A query failed: bump the score; evict past the threshold.
+
+        Returns True when the peer was evicted by this call.
+        """
+        count = self._failures.get(peer_id, 0) + 1
+        if count >= self.failure_threshold:
+            evicted = peer_id in self
+            self.remove(peer_id)
+            if evicted:
+                self.evictions += 1
+            return evicted
+        self._failures[peer_id] = count
+        return False
+
+    def failure_score(self, peer_id: PeerId) -> int:
+        """Current consecutive-failure count for ``peer_id``."""
+        return self._failures.get(peer_id, 0)
 
     def closest(self, target_key: bytes, count: int = K_BUCKET_SIZE) -> list[PeerId]:
         """The ``count`` known peers closest to ``target_key`` by XOR.

@@ -72,5 +72,13 @@ class IpnsError(ReproError):
     """Raised for invalid or unverifiable IPNS records."""
 
 
+class FaultInjectionError(ReproError):
+    """Raised when an injected fault aborts a dial or RPC mid-flight."""
+
+
+class PartitionError(FaultInjectionError):
+    """Raised when a regional partition severs the path between peers."""
+
+
 class SimulationError(ReproError):
     """Raised on inconsistent simulator state (a bug in the caller)."""

@@ -1,0 +1,197 @@
+"""Chaos sweep: retrieval resilience under injected faults.
+
+The paper evaluates IPFS in its network's steady state; this experiment
+asks how retrieval *degrades* when the network misbehaves. It sweeps an
+RPC-loss intensity across otherwise-identical worlds and measures the
+end-to-end retrieval success rate and latency percentiles at each
+level, once with the seed's fire-and-forget protocol stack and once
+with the retry/backoff stack enabled — the delta is the value of the
+resilience layer.
+
+Protocol per intensity level: build a fresh static world (no churn, so
+injected faults are the only variable), publish one object from the
+EU vantage node in calm weather, install the fault plan, then have the
+US vantage node retrieve the object repeatedly, disconnecting and
+dropping its blocks between attempts so every retrieval pays the full
+DHT + dial + Bitswap path. A lost WANT_BLOCK with retries disabled
+leaves the fetch pending forever, so each retrieval runs under a
+simulated-time budget and counts as failed when the budget expires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.dht.lookup import LookupConfig
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.node.config import NodeConfig
+from repro.simnet.faults import FaultInjector, FaultPlan
+from repro.simnet.sim import with_timeout
+from repro.utils.retry import RetryPolicy
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentiles
+from repro.workloads.population import PopulationConfig, generate_population
+
+#: One fixed publisher/getter pair (the perf experiment rotates all six
+#: regions; the sweep holds the path constant so fault intensity is the
+#: only variable).
+PUBLISHER_REGION = "eu_central_1"
+GETTER_REGION = "us_west_1"
+
+
+def resilient_node_config() -> NodeConfig:
+    """A :class:`NodeConfig` with the full retry/backoff stack on.
+
+    Per-hop walk retries, store-RPC re-attempts, dial backoff and
+    Bitswap re-wants, all with decorrelated jitter, plus a routing
+    table that tolerates two consecutive failures before evicting.
+    """
+    backoff = RetryPolicy(
+        max_attempts=3, base_delay_s=0.25, max_delay_s=4.0, jitter="decorrelated"
+    )
+    return NodeConfig(
+        lookup=LookupConfig(
+            rpc_retry=RetryPolicy(
+                max_attempts=2, base_delay_s=0.25, max_delay_s=2.0,
+                jitter="decorrelated",
+            ),
+            store_retry=backoff,
+            failure_threshold=3,
+        ),
+        dial_retry=backoff,
+        bitswap_retry=backoff,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    seed: int = 42
+    n_peers: int = 300
+    #: RPC-loss probabilities to sweep.
+    intensities: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+    retrievals_per_level: int = 12
+    object_size: int = 64 * 1024
+    #: False runs the seed's fire-and-forget stack (the baseline).
+    with_retries: bool = True
+    #: Simulated seconds before an unfinished retrieval counts as
+    #: failed (a lost want with no retry never settles on its own).
+    retrieval_budget_s: float = 180.0
+
+
+@dataclass
+class ChaosLevelResult:
+    """One intensity level: outcomes plus the resilience telemetry."""
+
+    intensity: float
+    attempted: int
+    latencies: list[float] = field(default_factory=list)
+    faults_injected: int = 0
+    faults_by_kind: dict = field(default_factory=dict)
+    retries_attempted: int = 0
+    rpcs_timed_out: int = 0
+    evictions: int = 0
+
+    @property
+    def succeeded(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    def latency_percentiles(self) -> list[float] | None:
+        """[p50, p90, p95] of successful retrievals, or ``None``."""
+        if not self.latencies:
+            return None
+        return percentiles(self.latencies, [50, 90, 95])
+
+
+@dataclass
+class ChaosResults:
+    config: ChaosConfig
+    levels: list[ChaosLevelResult] = field(default_factory=list)
+
+    def success_curve(self) -> list[tuple[float, float]]:
+        return [(level.intensity, level.success_rate) for level in self.levels]
+
+
+def _drain_unpinned(node) -> None:
+    for cid in list(node.blockstore.cids()):
+        if not node.blockstore.is_pinned(cid):
+            node.blockstore.delete(cid)
+
+
+def _run_level(config: ChaosConfig, intensity: float) -> ChaosLevelResult:
+    population = generate_population(
+        PopulationConfig(n_peers=config.n_peers),
+        derive_rng(config.seed, "chaos-pop"),
+    )
+    node_config = resilient_node_config() if config.with_retries else None
+    scenario = build_scenario(
+        population,
+        ScenarioConfig(seed=config.seed, with_churn=False, node_config=node_config),
+        vantage_regions=[PUBLISHER_REGION, GETTER_REGION],
+    )
+    sim, net = scenario.sim, scenario.net
+    publisher = scenario.vantage[PUBLISHER_REGION]
+    getter = scenario.vantage[GETTER_REGION]
+    injector = FaultInjector(
+        FaultPlan.rpc_loss(intensity),
+        derive_rng(
+            config.seed, "chaos-faults", f"{intensity:g}",
+            "retries" if config.with_retries else "baseline",
+        ),
+    )
+    outcomes: list[float | None] = []
+
+    def driver() -> Generator:
+        # Publish in calm weather: the incident starts after the object
+        # is announced, so the sweep measures retrieval degradation
+        # rather than publication noise compounding it.
+        for node in scenario.vantage.values():
+            yield from node.publish_peer_record()
+        payload = derive_rng(config.seed, "chaos-object").randbytes(
+            config.object_size
+        )
+        root = publisher.add_bytes(payload).root
+        yield from publisher.publish(root)
+        net.install_faults(injector)
+        for _ in range(config.retrievals_per_level):
+            getter.disconnect_all()
+            getter.address_book.forget(publisher.peer_id)
+            _drain_unpinned(getter)
+            started = sim.now
+            process = sim.spawn(getter.retrieve(root))
+            try:
+                yield with_timeout(sim, process.future, config.retrieval_budget_s)
+            except Exception:  # noqa: BLE001 - a failed retrieval, count it
+                outcomes.append(None)
+            else:
+                outcomes.append(sim.now - started)
+
+    sim.run_process(driver())
+
+    evictions = sum(node.routing_table.evictions for node in scenario.backdrop)
+    evictions += sum(
+        node.dht.routing_table.evictions for node in scenario.vantage.values()
+    )
+    return ChaosLevelResult(
+        intensity=intensity,
+        attempted=len(outcomes),
+        latencies=[latency for latency in outcomes if latency is not None],
+        faults_injected=net.stats.faults_injected,
+        faults_by_kind=dict(injector.stats.by_kind),
+        retries_attempted=net.stats.retries_attempted,
+        rpcs_timed_out=net.stats.rpcs_timed_out,
+        evictions=evictions,
+    )
+
+
+def run_chaos_experiment(config: ChaosConfig | None = None) -> ChaosResults:
+    """Sweep the configured intensities; one fresh world per level."""
+    config = config if config is not None else ChaosConfig()
+    results = ChaosResults(config=config)
+    for intensity in config.intensities:
+        results.levels.append(_run_level(config, intensity))
+    return results

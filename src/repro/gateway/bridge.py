@@ -20,6 +20,8 @@ from repro.gateway.gateway import node_store_latency
 from repro.gateway.logs import AccessLogEntry, CacheTier
 from repro.multiformats.cid import Cid
 from repro.node.host import IpfsNode
+from repro.simnet.sim import Future
+from repro.utils.retry import RetryPolicy, retry
 
 
 @dataclass(frozen=True)
@@ -33,12 +35,41 @@ class BridgedResponse:
 
 
 class GatewayBridge:
-    """An HTTP entry point backed by a co-located IPFS node."""
+    """An HTTP entry point backed by a co-located IPFS node.
 
-    def __init__(self, node: IpfsNode, cache_capacity_bytes: int) -> None:
+    ``retry_policy`` re-attempts failed upstream retrievals with
+    backoff before surfacing an error to the HTTP client (the ipfs.io
+    bridge retries transient upstream failures rather than 502-ing).
+    """
+
+    def __init__(
+        self,
+        node: IpfsNode,
+        cache_capacity_bytes: int,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.node = node
         self.web_cache = ObjectCache(cache_capacity_bytes)
+        self.retry_policy = retry_policy
         self.log: list[AccessLogEntry] = []
+
+    def _retrieve_upstream(self, cid: Cid) -> Generator:
+        """The miss path: a full network retrieval, retried per policy."""
+        policy = self.retry_policy
+        if policy is None or not policy.enabled:
+            receipt = yield from self.node.retrieve(cid)
+            return receipt
+
+        def attempt(_attempt: int) -> Future:
+            return self.node.sim.spawn(self.node.retrieve(cid)).future
+
+        def on_retry(_attempt: int, _error: BaseException) -> None:
+            self.node.network.stats.retries_attempted += 1
+
+        receipt = yield from retry(
+            self.node.sim, self.node.rng, policy, attempt, on_retry
+        )
+        return receipt
 
     def get(self, cid: Cid, user: str = "browser", country: str = "??") -> Generator:
         """Serve ``GET /ipfs/<cid>`` (a process; yields network time).
@@ -56,7 +87,7 @@ class GatewayBridge:
             tier = CacheTier.NODE_STORE
             yield node_store_latency(self.node.rng)
         else:
-            receipt = yield from self.node.retrieve(cid)
+            yield from self._retrieve_upstream(cid)
             size = self.node.reader.total_size(cid)
             tier = CacheTier.NON_CACHED
             self.web_cache.insert(cid, size)

@@ -17,6 +17,8 @@ from repro.errors import IpnsError
 from repro.ipns.record import DEFAULT_VALIDITY_S, IpnsRecord, ipns_key_for, make_record
 from repro.multiformats.cid import Cid
 from repro.multiformats.peerid import PeerId
+from repro.simnet.sim import Future
+from repro.utils.retry import RetryPolicy, retry
 
 
 def install_ipns_validator(node: DhtNode) -> None:
@@ -76,17 +78,18 @@ class IpnsPublisher:
 
 
 class IpnsResolver:
-    """Resolves ``/ipns/<PeerID>`` names to CIDs."""
+    """Resolves ``/ipns/<PeerID>`` names to CIDs.
 
-    def __init__(self, dht: DhtNode) -> None:
+    ``retry_policy`` re-runs the whole resolution walk with backoff
+    when it yields no valid record — a transiently unreachable record
+    holder (or an injected fault) then costs a retry, not a failure.
+    """
+
+    def __init__(self, dht: DhtNode, retry_policy: RetryPolicy | None = None) -> None:
         self.dht = dht
+        self.retry_policy = retry_policy
 
-    def resolve(self, name: PeerId) -> Generator:
-        """Walk the DHT for the name's record; returns the CID.
-
-        Raises :class:`IpnsError` when no valid record can be found
-        (unknown name, expired record, or forged bytes).
-        """
+    def _resolve_once(self, name: PeerId) -> Generator:
         raw, _stats = yield from self.dht.get_value(ipns_key_for(name))
         if raw is None:
             raise IpnsError(f"no IPNS record found for {name}")
@@ -94,3 +97,23 @@ class IpnsResolver:
         if not record.verify(name, self.dht.sim.now):
             raise IpnsError(f"IPNS record for {name} failed verification")
         return record.value
+
+    def resolve(self, name: PeerId) -> Generator:
+        """Walk the DHT for the name's record; returns the CID.
+
+        Raises :class:`IpnsError` when no valid record can be found
+        (unknown name, expired record, or forged bytes).
+        """
+        policy = self.retry_policy
+        if policy is None or not policy.enabled:
+            value = yield from self._resolve_once(name)
+            return value
+
+        def attempt(_attempt: int) -> Future:
+            return self.dht.sim.spawn(self._resolve_once(name)).future
+
+        def on_retry(_attempt: int, _error: BaseException) -> None:
+            self.dht.network.stats.retries_attempted += 1
+
+        value = yield from retry(self.dht.sim, self.dht.rng, policy, attempt, on_retry)
+        return value

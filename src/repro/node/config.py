@@ -9,6 +9,7 @@ from repro.dht.lookup import LookupConfig
 from repro.dht.records import EXPIRY_INTERVAL_S, REPUBLISH_INTERVAL_S
 from repro.merkledag.chunker import DEFAULT_CHUNK_SIZE
 from repro.node.addressbook import ADDRESS_BOOK_CAPACITY
+from repro.utils.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -36,3 +37,16 @@ class NodeConfig:
     #: the v0.10 build the paper measures performs the second walk
     #: (Figure 9e), so the default is off.
     provider_addr_hints: bool = False
+    #: Dial schedule for peer routing (step 3 of the retrieval path).
+    #: The default — two attempts, no backoff — is exactly go-ipfs's
+    #: immediate second dial over the peer's other addresses, which
+    #: the seed hard-coded as a lone ``retry once``.
+    dial_retry: RetryPolicy = RetryPolicy(
+        max_attempts=2, base_delay_s=0.0, max_delay_s=0.0
+    )
+    #: Per-provider Bitswap re-want policy: after
+    #: ``bitswap_silence_timeout_s`` of silence the session re-sends
+    #: the want instead of writing the provider off. Off by default
+    #: (the paper's go-bitswap session behaviour at measurement time).
+    bitswap_retry: RetryPolicy = RetryPolicy()
+    bitswap_silence_timeout_s: float = 8.0

@@ -41,6 +41,7 @@ from repro.simnet.latency import PeerClass, Region
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.sim import Future, Simulator, any_of
 from repro.simnet.transport import Transport
+from repro.utils.retry import retry
 
 
 @dataclass(frozen=True)
@@ -152,6 +153,9 @@ class IpfsNode:
         self.address_book.record(
             connection.remote, (synthesize_multiaddr(connection.remote),)
         )
+
+    def _count_retry(self, _attempt: int, _error: BaseException) -> None:
+        self.network.stats.retries_attempted += 1
 
     # -- publication path (Section 3.1) -----------------------------------
 
@@ -269,19 +273,27 @@ class IpfsNode:
                         raise PeerNotFoundError(f"no peer record for {provider}")
                     self.address_book.record(provider, record.addresses)
 
-        # Peer routing: connect to the provider. A refused handshake is
-        # retried once (go-ipfs walks the peer's other addresses).
+        # Peer routing: connect to the provider. Failed handshakes are
+        # re-dialed under the node's dial policy (the default of two
+        # immediate attempts is go-ipfs walking the peer's other
+        # addresses).
         dial_start = self.sim.now
         if not self.host.is_connected(provider):
-            try:
-                yield self.network.dial(self.host, provider)
-            except Exception:  # noqa: BLE001 - retry once
-                yield self.network.dial(self.host, provider)
+            yield from retry(
+                self.sim, self.rng, self.config.dial_retry,
+                lambda _attempt: self.network.dial(self.host, provider),
+                self._count_retry,
+            )
         dial_duration = self.sim.now - dial_start
 
         # Content exchange.
         fetch_start = self.sim.now
-        session = BitswapSession(self.bitswap, [provider])
+        session = BitswapSession(
+            self.bitswap, [provider],
+            retry_policy=self.config.bitswap_retry,
+            rng=self.rng,
+            silence_timeout_s=self.config.bitswap_silence_timeout_s,
+        )
         if recursive:
             yield from session.fetch_dag(cid)
         else:

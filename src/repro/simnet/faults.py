@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the simulated network.
+
+The live IPFS network is defined by its failures: 45.5 % of DHT
+entries are undialable, churn truncates sessions, and transport
+timeouts produce the 5 s / 45 s spikes of Figure 9c. The base
+simulator models churn and NAT; this module adds the richer degraded
+modes measurement studies observe on the real network — packet loss,
+blackholed peers, slow peers, mid-RPC connection resets, regional
+partitions and malformed responses — so experiments can ask "what does
+retrieval look like at 10 % RPC loss?" instead of only "what does it
+look like in steady state?".
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s. Each rule
+names a fault kind, a probability, an optional target scope (specific
+peers and/or regions) and an active time window, so plans model
+*incidents* (a region degrades for an hour) as well as background
+noise. A :class:`FaultInjector` evaluates the plan inside
+``SimNetwork.dial``/``rpc``.
+
+Determinism: the injector draws from its own dedicated RNG stream
+(derive it with ``derive_rng(seed, "faults")``), never from the
+network's, so installing a plan whose rules all have probability zero
+— or no injector at all — leaves every seeded experiment byte-
+identical. Rules are evaluated in plan order.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.simnet.latency import Region
+
+if TYPE_CHECKING:
+    from repro.multiformats.peerid import PeerId
+    from repro.simnet.network import SimHost
+
+
+class FaultKind(str, Enum):
+    """The failure modes a rule can inject."""
+
+    #: Drop the RPC request or response: the caller's future never
+    #: settles (exactly how the base network models a churned target),
+    #: so protocol timeouts and retries are what recover.
+    LOSS = "loss"
+    #: The target accepts dials but never answers RPCs — the
+    #: "dialable but dead" peers crawler studies report.
+    BLACKHOLE = "blackhole"
+    #: Inflate the target's request-processing delay by
+    #: ``slow_factor`` (an overloaded or resource-starved peer).
+    SLOW = "slow"
+    #: Fail the RPC mid-flight with a connection reset and tear the
+    #: connection down, after the request has already paid its
+    #: upstream latency.
+    RESET = "reset"
+    #: Sever connectivity between region groups: dials and RPCs
+    #: crossing the cut fail with :class:`~repro.errors.PartitionError`.
+    PARTITION = "partition"
+    #: Deliver an empty (``None``) response body in place of the
+    #: handler's answer — a malformed reply the protocol layer must
+    #: tolerate without crashing.
+    MALFORMED = "malformed"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source: what, to whom, how often, and when.
+
+    ``peers``/``regions`` scope the rule to the *target* of a dial or
+    RPC (``None`` matches everyone). ``start_s``/``end_s`` bound the
+    simulated-time window the rule is live in, so a plan can schedule
+    an incident instead of steady-state noise. ``partition_groups``
+    (PARTITION only) lists region sets; traffic between two different
+    groups is severed, traffic within a group — or involving a region
+    in no group — is untouched.
+    """
+
+    kind: FaultKind
+    probability: float = 1.0
+    peers: frozenset = frozenset()  # frozenset[PeerId]; empty = all
+    regions: frozenset = frozenset()  # frozenset[Region]; empty = all
+    start_s: float = 0.0
+    end_s: float = math.inf
+    slow_factor: float = 10.0
+    partition_groups: tuple[frozenset, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise SimulationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.kind is FaultKind.SLOW and self.slow_factor < 1.0:
+            raise SimulationError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if self.kind is FaultKind.PARTITION and not self.partition_groups:
+            raise SimulationError("a PARTITION rule needs partition_groups")
+
+    def active_at(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    def targets(self, peer_id: "PeerId", region: Region) -> bool:
+        if self.peers and peer_id not in self.peers:
+            return False
+        if self.regions and region not in self.regions:
+            return False
+        return True
+
+    def severs(self, src_region: Region, dst_region: Region) -> bool:
+        """Whether a PARTITION rule cuts the src->dst path."""
+        src_group = dst_group = None
+        for index, group in enumerate(self.partition_groups):
+            if src_region in group:
+                src_group = index
+            if dst_region in group:
+                dst_group = index
+        return src_group is not None and dst_group is not None and src_group != dst_group
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules (first matching rule wins)."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    @classmethod
+    def of(cls, *rules: FaultRule) -> "FaultPlan":
+        return cls(tuple(rules))
+
+    @classmethod
+    def rpc_loss(cls, probability: float, **kwargs) -> "FaultPlan":
+        """Shorthand for the most common plan: uniform RPC loss."""
+        return cls.of(FaultRule(FaultKind.LOSS, probability, **kwargs))
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (merged into experiment reports)."""
+
+    faults_injected: int = 0
+    by_kind: dict = field(default_factory=dict)  # dict[str, int]
+
+    def record(self, kind: FaultKind) -> None:
+        self.faults_injected += 1
+        self.by_kind[kind.value] = self.by_kind.get(kind.value, 0) + 1
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against dials and RPCs.
+
+    Attach to a network with ``net.install_faults(injector)``. The
+    injector is consulted at three points:
+
+    - :meth:`severed` — before a dial or RPC, for partitions;
+    - :meth:`rpc_fault` — once per RPC, picking at most one fault to
+      apply (evaluated on the request path, in rule order);
+    - :meth:`processing_factor` — the slow-peer multiplier for the
+      target's processing delay.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: random.Random) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.stats = FaultStats()
+
+    # -- evaluation ------------------------------------------------------
+
+    def severed(self, src: "SimHost", dst_region: Region, now: float) -> bool:
+        """Whether a partition cuts the path src -> dst right now."""
+        for rule in self.plan.rules:
+            if rule.kind is not FaultKind.PARTITION or not rule.active_at(now):
+                continue
+            if rule.severs(src.region, dst_region):
+                if rule.probability >= 1.0 or self.rng.random() < rule.probability:
+                    self.stats.record(FaultKind.PARTITION)
+                    return True
+        return False
+
+    def rpc_fault(self, target: "SimHost", now: float) -> FaultKind | None:
+        """Pick the fault (if any) to apply to one RPC toward ``target``.
+
+        Rules are evaluated in plan order; the first one that fires
+        wins. PARTITION and SLOW are handled elsewhere (:meth:`severed`
+        / :meth:`processing_factor`) and skipped here.
+        """
+        for rule in self.plan.rules:
+            if rule.kind in (FaultKind.PARTITION, FaultKind.SLOW):
+                continue
+            if not rule.active_at(now):
+                continue
+            if not rule.targets(target.peer_id, target.region):
+                continue
+            if rule.probability <= 0.0:
+                continue
+            if rule.probability >= 1.0 or self.rng.random() < rule.probability:
+                self.stats.record(rule.kind)
+                return rule.kind
+        return None
+
+    def processing_factor(self, target: "SimHost", now: float) -> float:
+        """Multiplier on the target's processing delay (SLOW rules)."""
+        factor = 1.0
+        for rule in self.plan.rules:
+            if rule.kind is not FaultKind.SLOW or not rule.active_at(now):
+                continue
+            if not rule.targets(target.peer_id, target.region):
+                continue
+            if rule.probability <= 0.0:
+                continue
+            if rule.probability >= 1.0 or self.rng.random() < rule.probability:
+                self.stats.record(FaultKind.SLOW)
+                factor *= rule.slow_factor
+        return factor

@@ -23,8 +23,15 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import DialError, SimulationError, TransportTimeoutError
+from repro.errors import (
+    DialError,
+    FaultInjectionError,
+    PartitionError,
+    SimulationError,
+    TransportTimeoutError,
+)
 from repro.multiformats.peerid import PeerId
+from repro.simnet.faults import FaultInjector, FaultKind
 from repro.simnet.latency import LatencyModel, PeerClass, Region
 from repro.simnet.sim import Future, Simulator
 from repro.simnet.transport import (
@@ -67,6 +74,14 @@ class NetworkStats:
     rpcs_sent: int = 0
     rpcs_completed: int = 0
     bytes_transferred: int = 0
+    #: RPCs whose caller-side timeout expired (counted by the protocol
+    #: layers that own the timeout, e.g. the DHT walk).
+    rpcs_timed_out: int = 0
+    #: re-attempts made under a :class:`~repro.utils.retry.RetryPolicy`
+    retries_attempted: int = 0
+    #: faults the installed :class:`~repro.simnet.faults.FaultInjector`
+    #: applied to this network's dials and RPCs
+    faults_injected: int = 0
 
 
 class SimHost:
@@ -161,6 +176,13 @@ class SimNetwork:
         self.latency = latency if latency is not None else LatencyModel()
         self.hosts: dict[PeerId, SimHost] = {}
         self.stats = NetworkStats()
+        #: optional chaos layer; ``None`` means no fault evaluation at
+        #: all (the default — seeded runs stay byte-identical).
+        self.faults: FaultInjector | None = None
+
+    def install_faults(self, injector: FaultInjector | None) -> None:
+        """Attach (or remove, with ``None``) a fault injector."""
+        self.faults = injector
 
     # -- membership ---------------------------------------------------------
 
@@ -182,14 +204,18 @@ class SimNetwork:
         :class:`TransportTimeoutError` after the transport's dial
         timeout when the target is offline, NAT'ed, or unknown, and
         with :class:`DialError` when no transport is shared.
+
+        Every early-exit failure still counts one attempted and one
+        failed dial, so failure-rate reports see all outcomes.
         """
-        if not src.online:
-            return Future.failed_with(DialError("dialer is offline"))
         existing = src.connections.get(target_id)
         if existing is not None and not existing.closed:
             return Future.resolved(existing)
 
         self.stats.dials_attempted += 1
+        if not src.online:
+            self.stats.dials_failed += 1
+            return Future.failed_with(DialError("dialer is offline"))
         future: Future = Future()
         target = self.hosts.get(target_id)
 
@@ -201,6 +227,29 @@ class SimNetwork:
             self.stats.dials_failed += 1
             return Future.failed_with(DialError("no shared transport"))
 
+        if (
+            target is not None
+            and self.faults is not None
+            and self.faults.severed(src, target.region, self.sim.now)
+        ):
+            # A partition manifests as an unanswered handshake: the
+            # dialer burns the transport timeout before giving up.
+            self.stats.faults_injected += 1
+            timeout = dial_timeout(transport)
+
+            def cut() -> None:
+                if not src.online:
+                    return
+                self.stats.dials_failed += 1
+                future.fail(
+                    PartitionError(
+                        f"partition severs {src.peer_id} -> {target_id}"
+                    )
+                )
+
+            self.sim.schedule(timeout, cut)
+            return future
+
         refused = (
             target is not None
             and target.reachable
@@ -211,6 +260,11 @@ class SimNetwork:
             timeout = dial_timeout(transport)
 
             def fail() -> None:
+                # The dialer may itself have churned offline during the
+                # wait; mirror establish() and leave the future alone
+                # (its teardown already dropped the pending dial).
+                if not src.online:
+                    return
                 self.stats.dials_failed += 1
                 future.fail(
                     TransportTimeoutError(
@@ -339,17 +393,58 @@ class SimNetwork:
             future.fail(DialError(f"unknown peer {target_id}"))
             return
         self.stats.rpcs_sent += 1
+
+        fault: FaultKind | None = None
+        if self.faults is not None:
+            if self.faults.severed(src, target.region, self.sim.now):
+                # The partition reset the connection under us.
+                self.stats.faults_injected += 1
+                self.disconnect(src, target_id)
+                future.fail(
+                    PartitionError(f"partition severs RPC {src.peer_id} -> {target_id}")
+                )
+                return
+            fault = self.faults.rpc_fault(target, self.sim.now)
+            if fault is not None:
+                self.stats.faults_injected += 1
+
         upstream = self._one_way_between(src, target) + self._occupy_link(
             src, target, request_size
         )
+        if fault in (FaultKind.LOSS, FaultKind.BLACKHOLE):
+            # The request (or its answer) vanishes: the future never
+            # settles, exactly like an RPC to a churned peer — the
+            # caller's timeout is what recovers.
+            return
+        if fault is FaultKind.RESET:
+            def reset() -> None:
+                if not src.online:
+                    return
+                self.disconnect(src, target_id)
+                future.fail(
+                    FaultInjectionError(f"connection to {target_id} reset mid-RPC")
+                )
+
+            self.sim.schedule(upstream, reset)
+            return
 
         def deliver() -> None:
             if not target.online:
                 return  # request lost; caller's timeout handles it
             processing = self.latency.processing_delay(target.peer_class, self.rng)
+            if self.faults is not None:
+                processing *= self.faults.processing_factor(target, self.sim.now)
 
             def respond() -> None:
                 if not target.online:
+                    return
+                if fault is FaultKind.MALFORMED:
+                    response, response_size = None, 16
+                    downstream = self._one_way_between(
+                        target, src
+                    ) + self._occupy_link(target, src, response_size)
+                    self.stats.bytes_transferred += request_size + response_size
+                    self.sim.schedule(downstream, lambda: _complete(response))
                     return
                 try:
                     response, response_size = target.handler_for(method)(
@@ -364,15 +459,14 @@ class SimNetwork:
                     target, src, response_size
                 )
                 self.stats.bytes_transferred += request_size + response_size
-
-                def complete() -> None:
-                    if not src.online:
-                        return
-                    self.stats.rpcs_completed += 1
-                    future.resolve(response)
-
-                self.sim.schedule(downstream, complete)
+                self.sim.schedule(downstream, lambda: _complete(response))
 
             self.sim.schedule(processing, respond)
+
+        def _complete(response: Any) -> None:
+            if not src.online:
+                return
+            self.stats.rpcs_completed += 1
+            future.resolve(response)
 
         self.sim.schedule(upstream, deliver)

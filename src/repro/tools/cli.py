@@ -15,8 +15,10 @@ optionally exports the raw dataset.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
+from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
 from repro.experiments.deployment import (
     CrawlCampaignConfig,
     analyze_population,
@@ -34,6 +36,21 @@ from repro.utils.rng import derive_rng
 from repro.utils.stats import Cdf
 from repro.workloads.gateway_trace import GatewayTraceConfig
 from repro.workloads.population import PopulationConfig, generate_population
+
+
+def _intensity_list(text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated probabilities, got {text!r}"
+        ) from None
+    for value in values:
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"intensity must be in [0, 1], got {value}"
+            )
+    return values
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,6 +77,18 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--interval-minutes", type=float, default=30.0)
     crawl.add_argument("--export", metavar="FILE", default=None,
                        help="write the per-crawl peer CSV")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep (retrieval under RPC loss)"
+    )
+    chaos.add_argument("--peers", type=int, default=300)
+    chaos.add_argument("--intensities", type=_intensity_list,
+                       default=(0.0, 0.05, 0.1, 0.2, 0.3),
+                       help="comma-separated RPC-loss probabilities")
+    chaos.add_argument("--retrievals", type=int, default=12,
+                       help="retrievals per intensity level")
+    chaos.add_argument("--export", metavar="FILE", default=None,
+                       help="write per-level JSONL records")
 
     gateway = sub.add_parser("gateway", help="gateway day replay (Fig 11/Table 5)")
     gateway.add_argument("--scale", type=int, default=100,
@@ -157,6 +186,47 @@ def _cmd_crawl(args) -> None:
         print(f"wrote {rows} crawl rows to {args.export}")
 
 
+def _cmd_chaos(args) -> None:
+    config = ChaosConfig(
+        seed=args.seed,
+        n_peers=args.peers,
+        intensities=args.intensities,
+        retrievals_per_level=args.retrievals,
+    )
+    baseline = run_chaos_experiment(
+        dataclasses.replace(config, with_retries=False)
+    )
+    resilient = run_chaos_experiment(config)
+
+    def fmt_pcts(level) -> str:
+        pcts = level.latency_percentiles()
+        if pcts is None:
+            return "-"
+        return " / ".join(f"{x:.1f}" for x in pcts)
+
+    rows = []
+    for base, ret in zip(baseline.levels, resilient.levels):
+        rows.append((
+            f"{base.intensity:.0%}",
+            f"{base.success_rate:.0%}", fmt_pcts(base),
+            f"{ret.success_rate:.0%}", fmt_pcts(ret),
+            ret.retries_attempted, ret.evictions,
+        ))
+    print(render_table(
+        "Chaos sweep — retrieval under injected RPC loss",
+        ["loss", "success (base)", "p50/p90/p95 (base)",
+         "success (retry)", "p50/p90/p95 (retry)", "retries", "evictions"],
+        rows,
+        note=f"{args.retrievals} retrievals per level, {args.peers} peers; "
+             "base = fire-and-forget seed stack, retry = backoff stack",
+    ))
+    if args.export:
+        rows_written = export.export_chaos_dataset(
+            [baseline, resilient], args.export
+        )
+        print(f"\nwrote {rows_written} level records to {args.export}")
+
+
 def _cmd_gateway(args) -> None:
     results = run_gateway_experiment(
         GatewayExperimentConfig(
@@ -184,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
         "deployment": _cmd_deployment,
         "crawl": _cmd_crawl,
+        "chaos": _cmd_chaos,
         "gateway": _cmd_gateway,
     }
     handlers[args.command](args)

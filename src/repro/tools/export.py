@@ -19,6 +19,7 @@ import json
 import pathlib
 from collections.abc import Iterable
 
+from repro.experiments.chaos import ChaosResults
 from repro.experiments.deployment import CrawlCampaignResults
 from repro.experiments.perf import PerfResults
 from repro.gateway.logs import AccessLogEntry
@@ -89,6 +90,34 @@ def export_gateway_log(
                 entry.tier.value, entry.referrer or "",
             ])
             rows += 1
+    return rows
+
+
+def export_chaos_dataset(
+    sweeps: Iterable[ChaosResults], path: str | pathlib.Path
+) -> int:
+    """Write per-level chaos sweep records (JSON lines)."""
+    path = pathlib.Path(path)
+    rows = 0
+    with path.open("w") as handle:
+        for sweep in sweeps:
+            for level in sweep.levels:
+                pcts = level.latency_percentiles()
+                handle.write(json.dumps({
+                    "intensity": level.intensity,
+                    "with_retries": sweep.config.with_retries,
+                    "attempted": level.attempted,
+                    "succeeded": level.succeeded,
+                    "success_rate": level.success_rate,
+                    "latency_p50_s": pcts[0] if pcts else None,
+                    "latency_p90_s": pcts[1] if pcts else None,
+                    "latency_p95_s": pcts[2] if pcts else None,
+                    "faults_injected": level.faults_injected,
+                    "retries_attempted": level.retries_attempted,
+                    "rpcs_timed_out": level.rpcs_timed_out,
+                    "evictions": level.evictions,
+                }) + "\n")
+                rows += 1
     return rows
 
 

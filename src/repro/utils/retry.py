@@ -1,0 +1,131 @@
+"""Retry with exponential backoff over simulated time.
+
+Every protocol layer that talks to remote peers (DHT walks, provider
+publication, Bitswap sessions, IPNS resolution, the gateway fetch path)
+faces the same failure modes: dial timeouts against the 45.5 % of
+undialable peers, RPCs that never return because the target churned
+offline, and — under the chaos experiments — injected loss, resets and
+blackholes. A :class:`RetryPolicy` gives them one principled answer
+instead of ad-hoc "retry once" code.
+
+Delays follow capped exponential backoff with optional jitter.
+``decorrelated`` jitter is the AWS Architecture Blog variant
+(``sleep = min(cap, uniform(base, 3 * previous_sleep))``), which avoids
+the synchronized retry storms plain exponential backoff produces when
+many peers fail at once. All randomness comes from an explicit
+:class:`random.Random` so experiments stay deterministic, and a policy
+with ``max_attempts=1`` never sleeps and never draws from the RNG —
+the no-op default that keeps seeded results byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.simnet.sim import Future, Simulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule and budgets for one class of operation.
+
+    ``max_attempts`` counts the first try: 1 means "no retries" (the
+    default, preserving pre-retry behaviour exactly). ``deadline_s``
+    bounds the whole operation in simulated time measured from its
+    first attempt; a retry whose backoff sleep would cross the deadline
+    is not attempted.
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 0.5
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    #: "none" (deterministic exponential), "full" (uniform in
+    #: [0, exp]), or "decorrelated" (AWS-style, needs ``previous``).
+    jitter: str = "none"
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ReproError(
+                f"need 0 <= base ({self.base_delay_s}) <= cap ({self.max_delay_s})"
+            )
+        if self.jitter not in ("none", "full", "decorrelated"):
+            raise ReproError(f"unknown jitter mode: {self.jitter!r}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def next_delay(
+        self, attempt: int, previous: float, rng: random.Random
+    ) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``previous`` is the delay used before the previous retry (pass
+        ``base_delay_s`` initially); it only matters for decorrelated
+        jitter. The result is always within [0, max_delay_s], and for
+        jittered modes within [base_delay_s, max_delay_s] whenever
+        base <= cap (guaranteed by construction).
+        """
+        if self.jitter == "decorrelated":
+            return min(
+                self.max_delay_s,
+                rng.uniform(self.base_delay_s, max(self.base_delay_s, previous * 3)),
+            )
+        exponential = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter == "full":
+            return min(
+                self.max_delay_s,
+                max(self.base_delay_s, rng.uniform(0.0, exponential)),
+            )
+        return exponential
+
+
+#: Factory invoked once per attempt; returns the attempt's future.
+AttemptFactory = Callable[[int], Future]
+
+
+def retry(
+    sim: Simulator,
+    rng: random.Random,
+    policy: RetryPolicy,
+    attempt_factory: AttemptFactory,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> Generator:
+    """Drive ``attempt_factory`` under ``policy`` as a sim process.
+
+    Yields the future of each attempt (so callers embed this with
+    ``yield from``); returns the first successful result. Failed
+    attempts back off per the policy; ``on_retry(attempt, error)`` is
+    called before each re-attempt (used for stats counters). Raises the
+    last error once attempts or the deadline are exhausted.
+    """
+    deadline = None if policy.deadline_s is None else sim.now + policy.deadline_s
+    previous = policy.base_delay_s
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            result = yield attempt_factory(attempt)
+            return result
+        except Exception as exc:  # noqa: BLE001 - retry any library error
+            last_error = exc
+        if attempt >= policy.max_attempts:
+            break
+        delay = policy.next_delay(attempt, previous, rng)
+        previous = delay
+        if deadline is not None and sim.now + delay > deadline:
+            break
+        if on_retry is not None:
+            on_retry(attempt, last_error)
+        if delay > 0:
+            yield delay
+    assert last_error is not None
+    raise last_error

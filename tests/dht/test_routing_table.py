@@ -106,6 +106,51 @@ def test_peers_lists_everything():
     assert len(table.peers()) == len(table)
 
 
+def test_default_threshold_evicts_on_first_failure():
+    # go-ipfs v0.10 drops a peer from the table on its first failed query.
+    table = RoutingTable(pid(0))
+    table.add(pid(1))
+    assert table.record_failure(pid(1))
+    assert pid(1) not in table
+    assert table.evictions == 1
+
+
+def test_threshold_tolerates_transient_failures():
+    table = RoutingTable(pid(0), failure_threshold=3)
+    table.add(pid(1))
+    assert not table.record_failure(pid(1))
+    assert not table.record_failure(pid(1))
+    assert table.failure_score(pid(1)) == 2
+    assert pid(1) in table
+    assert table.record_failure(pid(1))
+    assert pid(1) not in table
+    assert table.evictions == 1
+
+
+def test_success_resets_failure_score():
+    table = RoutingTable(pid(0), failure_threshold=2)
+    table.add(pid(1))
+    table.record_failure(pid(1))
+    table.record_success(pid(1))
+    assert table.failure_score(pid(1)) == 0
+    assert not table.record_failure(pid(1))
+    assert pid(1) in table
+
+
+def test_eviction_of_absent_peer_not_counted():
+    table = RoutingTable(pid(0))
+    assert not table.record_failure(pid(1))
+    assert table.evictions == 0
+
+
+def test_remove_clears_failure_score():
+    table = RoutingTable(pid(0), failure_threshold=3)
+    table.add(pid(1))
+    table.record_failure(pid(1))
+    table.remove(pid(1))
+    assert table.failure_score(pid(1)) == 0
+
+
 @settings(max_examples=20)
 @given(st.sets(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=60))
 def test_closest_is_exact_property(ns):

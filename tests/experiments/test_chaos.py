@@ -1,0 +1,113 @@
+"""Tests for the chaos sweep: graceful degradation, the value of
+retries, and the zero-intensity no-op guarantee."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.chaos import (
+    ChaosConfig,
+    resilient_node_config,
+    run_chaos_experiment,
+)
+from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.simnet.faults import FaultInjector, FaultPlan
+from repro.utils.rng import derive_rng
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+@pytest.fixture(scope="module")
+def ten_percent_loss():
+    """Both protocol stacks at 10 % RPC loss (shared by the asserts)."""
+    config = ChaosConfig(
+        n_peers=200, intensities=(0.1,), retrievals_per_level=12
+    )
+    baseline = run_chaos_experiment(
+        dataclasses.replace(config, with_retries=False)
+    )
+    resilient = run_chaos_experiment(config)
+    return baseline.levels[0], resilient.levels[0]
+
+
+def test_retries_beat_fire_and_forget_at_10_percent_loss(ten_percent_loss):
+    baseline, resilient = ten_percent_loss
+    assert resilient.success_rate > baseline.success_rate
+
+
+def test_resilience_telemetry_is_observable(ten_percent_loss):
+    baseline, resilient = ten_percent_loss
+    # The baseline stack never retries; the resilient one does, and
+    # both surface the injected faults through the network counters.
+    assert baseline.retries_attempted == 0
+    assert resilient.retries_attempted > 0
+    assert baseline.faults_injected > 0
+    assert resilient.faults_injected > 0
+    # Evict-on-first-failure (baseline) evicts more than threshold-3.
+    assert baseline.evictions > 0
+    assert resilient.evictions <= baseline.evictions
+
+
+def test_success_degrades_with_intensity():
+    config = ChaosConfig(
+        n_peers=200, intensities=(0.0, 0.3), retrievals_per_level=6,
+        with_retries=False,
+    )
+    results = run_chaos_experiment(config)
+    calm, stormy = results.levels
+    assert calm.success_rate == 1.0
+    assert stormy.success_rate <= calm.success_rate
+    assert stormy.faults_injected > 0
+    assert calm.faults_injected == 0
+
+
+def test_latency_percentiles_only_over_successes():
+    level_cls = run_chaos_experiment(
+        ChaosConfig(n_peers=200, intensities=(0.0,), retrievals_per_level=2)
+    ).levels[0]
+    pcts = level_cls.latency_percentiles()
+    assert pcts is not None and len(pcts) == 3
+    assert pcts[0] <= pcts[1] <= pcts[2]
+
+
+def test_zero_intensity_plan_is_byte_identical_to_no_injector():
+    """Installing an all-zero FaultPlan must not perturb a seeded run:
+    the injector draws from its own RNG stream and a zero-probability
+    rule never draws at all."""
+
+    def run(install_zero_plan: bool):
+        population = generate_population(
+            PopulationConfig(n_peers=150), derive_rng(11, "chaos-ident-pop")
+        )
+        scenario = build_scenario(
+            population,
+            ScenarioConfig(seed=11),
+            vantage_regions=["eu_central_1", "us_west_1"],
+        )
+        if install_zero_plan:
+            scenario.net.install_faults(FaultInjector(
+                FaultPlan.rpc_loss(0.0), derive_rng(11, "chaos-ident-faults")
+            ))
+        results = run_perf_experiment(
+            scenario,
+            PerfConfig(
+                rounds=1, seed=11, regions=("eu_central_1", "us_west_1")
+            ),
+        )
+        return (
+            results.all_publications(),
+            results.all_retrievals(),
+            results.failures,
+            dataclasses.asdict(scenario.net.stats),
+        )
+
+    assert run(False) == run(True)
+
+
+def test_resilient_node_config_enables_every_layer():
+    config = resilient_node_config()
+    assert config.lookup.rpc_retry.enabled
+    assert config.lookup.store_retry.enabled
+    assert config.lookup.failure_threshold > 1
+    assert config.dial_retry.enabled
+    assert config.bitswap_retry.enabled

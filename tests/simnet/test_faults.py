@@ -1,0 +1,228 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, PartitionError, SimulationError
+from repro.multiformats.peerid import PeerId
+from repro.simnet.faults import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.simnet.latency import PeerClass, Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import Simulator, TimeoutError_, with_timeout
+from repro.utils.rng import derive_rng
+
+
+def pid(name: bytes) -> PeerId:
+    return PeerId.from_public_key(name)
+
+
+def make_world(plan=None, seed=1, region_b=Region.EU, class_b=PeerClass.DATACENTER):
+    sim = Simulator()
+    net = SimNetwork(sim, derive_rng(seed, "net"))
+    a = SimHost(pid(b"a"))
+    b = SimHost(pid(b"b"), region=region_b, peer_class=class_b)
+    net.register(a)
+    net.register(b)
+    b.register_handler("PING", lambda sender, payload: ("pong", 16))
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, derive_rng(seed, "faults"))
+        net.install_faults(injector)
+    return sim, net, a, b, injector
+
+
+def ping(sim, net, a, b, timeout_s=30.0):
+    def proc():
+        try:
+            response = yield with_timeout(
+                sim, net.rpc(a, b.peer_id, "PING", None), timeout_s
+            )
+        except TimeoutError_:
+            return "timeout"
+        except Exception as exc:  # noqa: BLE001 - inspected by tests
+            return exc
+        return response
+
+    return sim.run_process(proc())
+
+
+class TestFaultKinds:
+    def test_loss_rpc_never_settles(self):
+        sim, net, a, b, injector = make_world(FaultPlan.rpc_loss(1.0))
+        assert ping(sim, net, a, b) == "timeout"
+        assert net.stats.faults_injected == 1
+        assert injector.stats.by_kind == {"loss": 1}
+
+    def test_blackhole_accepts_dial_but_never_answers(self):
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(FaultRule(FaultKind.BLACKHOLE))
+        )
+
+        def proc():
+            yield net.dial(a, b.peer_id)
+            return "dialed"
+
+        assert sim.run_process(proc()) == "dialed"
+        assert ping(sim, net, a, b) == "timeout"
+
+    def test_reset_fails_rpc_and_drops_connection(self):
+        sim, net, a, b, _ = make_world(FaultPlan.of(FaultRule(FaultKind.RESET)))
+        result = ping(sim, net, a, b)
+        assert isinstance(result, FaultInjectionError)
+        assert not a.is_connected(b.peer_id)
+
+    def test_malformed_delivers_empty_response(self):
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(FaultRule(FaultKind.MALFORMED))
+        )
+        assert ping(sim, net, a, b) is None
+        assert net.stats.rpcs_completed == 1
+
+    def test_slow_peer_inflates_processing_delay(self):
+        plain = make_world(class_b=PeerClass.SLOW)
+        slowed = make_world(
+            FaultPlan.of(FaultRule(FaultKind.SLOW, slow_factor=100.0)),
+            class_b=PeerClass.SLOW,
+        )
+
+        def timed(world):
+            sim, net, a, b, _ = world
+
+            def proc():
+                yield net.rpc(a, b.peer_id, "PING", None)
+                return sim.now
+
+            return sim.run_process(proc())
+
+        # A SLOW-class peer takes >= 0.15 s to process; x100 dominates.
+        assert timed(plain) < 5.0
+        assert timed(slowed) > 10.0
+
+    def test_partition_dial_burns_transport_timeout(self):
+        groups = (
+            frozenset({Region.EU}), frozenset({Region.NA_WEST}),
+        )
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(
+                FaultRule(FaultKind.PARTITION, partition_groups=groups)
+            ),
+            region_b=Region.NA_WEST,
+        )
+
+        def proc():
+            try:
+                yield net.dial(a, b.peer_id)
+            except PartitionError:
+                return sim.now
+
+        assert sim.run_process(proc()) == 5.0
+        assert net.stats.faults_injected == 1
+
+    def test_partition_fails_rpc_on_existing_connection(self):
+        groups = (
+            frozenset({Region.EU}), frozenset({Region.NA_WEST}),
+        )
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(
+                FaultRule(
+                    FaultKind.PARTITION, partition_groups=groups, start_s=10.0
+                )
+            ),
+            region_b=Region.NA_WEST,
+        )
+
+        def proc():
+            yield net.dial(a, b.peer_id)  # before the incident starts
+            yield 15.0
+            try:
+                yield net.rpc(a, b.peer_id, "PING", None)
+            except PartitionError:
+                return "severed"
+
+        assert sim.run_process(proc()) == "severed"
+        assert not a.is_connected(b.peer_id)
+
+    def test_region_in_no_partition_group_is_untouched(self):
+        groups = (
+            frozenset({Region.SA}), frozenset({Region.NA_WEST}),
+        )
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(
+                FaultRule(FaultKind.PARTITION, partition_groups=groups)
+            )
+        )
+        assert ping(sim, net, a, b) == "pong"
+
+
+class TestSchedulingAndScope:
+    def test_rule_window_expires(self):
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(FaultRule(FaultKind.LOSS, end_s=100.0))
+        )
+
+        def proc():
+            try:
+                yield with_timeout(
+                    sim, net.rpc(a, b.peer_id, "PING", None), 30.0
+                )
+            except TimeoutError_:
+                pass
+            yield 100.0  # past end_s
+            response = yield net.rpc(a, b.peer_id, "PING", None)
+            return response
+
+        assert sim.run_process(proc()) == "pong"
+        assert net.stats.faults_injected == 1
+
+    def test_peer_scoping(self):
+        sim = Simulator()
+        net = SimNetwork(sim, derive_rng(1, "net"))
+        a, b, c = SimHost(pid(b"a")), SimHost(pid(b"b")), SimHost(pid(b"c"))
+        for host in (a, b, c):
+            net.register(host)
+        for host in (b, c):
+            host.register_handler("PING", lambda sender, payload: ("pong", 16))
+        net.install_faults(FaultInjector(
+            FaultPlan.of(
+                FaultRule(FaultKind.LOSS, peers=frozenset({b.peer_id}))
+            ),
+            derive_rng(1, "faults"),
+        ))
+        assert ping(sim, net, a, b) == "timeout"
+        assert ping(sim, net, a, c) == "pong"
+
+    def test_zero_probability_injects_nothing_and_draws_no_rng(self):
+        sim, net, a, b, injector = make_world(FaultPlan.rpc_loss(0.0))
+        state_before = injector.rng.getstate()
+        assert ping(sim, net, a, b) == "pong"
+        assert net.stats.faults_injected == 0
+        assert injector.stats.faults_injected == 0
+        assert injector.rng.getstate() == state_before
+
+    def test_uninstall_restores_clean_network(self):
+        sim, net, a, b, injector = make_world(FaultPlan.rpc_loss(1.0))
+        net.install_faults(None)
+        assert ping(sim, net, a, b) == "pong"
+
+    def test_determinism_same_seed_same_outcomes(self):
+        def outcomes():
+            sim, net, a, b, _ = make_world(FaultPlan.rpc_loss(0.3), seed=7)
+            results = []
+            for _ in range(20):
+                results.append(ping(sim, net, a, b, timeout_s=5.0))
+            return results, net.stats.faults_injected
+
+        assert outcomes() == outcomes()
+
+
+class TestRuleValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(SimulationError):
+            FaultRule(FaultKind.LOSS, probability=1.5)
+
+    def test_partition_needs_groups(self):
+        with pytest.raises(SimulationError):
+            FaultRule(FaultKind.PARTITION)
+
+    def test_slow_factor_below_one(self):
+        with pytest.raises(SimulationError):
+            FaultRule(FaultKind.SLOW, slow_factor=0.5)

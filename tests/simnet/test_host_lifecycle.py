@@ -1,0 +1,105 @@
+"""Edge cases of SimHost lifecycle: status observers, churn during
+dials, and connection teardown symmetry."""
+
+from repro.multiformats.peerid import PeerId
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.sim import Simulator
+from repro.simnet.transport import Transport
+from repro.utils.rng import derive_rng
+
+
+def pid(name: bytes) -> PeerId:
+    return PeerId.from_public_key(name)
+
+
+def make_net(seed=1):
+    sim = Simulator()
+    return sim, SimNetwork(sim, derive_rng(seed, "net"))
+
+
+def connect(sim, net, a, b):
+    def proc():
+        yield net.dial(a, b.peer_id)
+
+    sim.run_process(proc())
+
+
+class TestStatusObservers:
+    def test_observers_notified_in_registration_order(self):
+        host = SimHost(pid(b"a"))
+        seen = []
+        host.on_status_change.append(lambda online: seen.append(("first", online)))
+        host.on_status_change.append(lambda online: seen.append(("second", online)))
+        host.set_online(False)
+        assert seen == [("first", False), ("second", False)]
+
+    def test_double_offline_is_idempotent(self):
+        sim, net = make_net()
+        a, b = SimHost(pid(b"a")), SimHost(pid(b"b"))
+        net.register(a)
+        net.register(b)
+        connect(sim, net, a, b)
+        events = []
+        a.on_status_change.append(events.append)
+        a.set_online(False)
+        a.set_online(False)
+        assert events == [False]
+        assert a.connections == {}
+
+
+class TestDisconnectTeardown:
+    def test_disconnect_tears_down_both_directions(self):
+        sim, net = make_net()
+        a, b = SimHost(pid(b"a")), SimHost(pid(b"b"))
+        net.register(a)
+        net.register(b)
+        connect(sim, net, a, b)
+        conn_a = a.connections[b.peer_id]
+        conn_b = b.connections[a.peer_id]
+        net.disconnect(a, b.peer_id)
+        assert not a.is_connected(b.peer_id)
+        assert not b.is_connected(a.peer_id)
+        assert conn_a.closed and conn_b.closed
+
+    def test_disconnect_without_connection_is_a_no_op(self):
+        sim, net = make_net()
+        a, b = SimHost(pid(b"a")), SimHost(pid(b"b"))
+        net.register(a)
+        net.register(b)
+        net.disconnect(a, b.peer_id)  # never connected; no error
+        assert not a.is_connected(b.peer_id)
+
+
+class TestDialStatsAndChurn:
+    def test_offline_dialer_counts_attempted_and_failed(self):
+        sim, net = make_net()
+        a, b = SimHost(pid(b"a"), online=False), SimHost(pid(b"b"))
+        net.register(a)
+        net.register(b)
+        assert net.dial(a, b.peer_id).failed
+        assert net.stats.dials_attempted == 1
+        assert net.stats.dials_failed == 1
+
+    def test_no_shared_transport_counts_attempted_and_failed(self):
+        sim, net = make_net()
+        a = SimHost(pid(b"a"), transports=frozenset({Transport.QUIC}))
+        b = SimHost(pid(b"b"), transports=frozenset({Transport.WEBSOCKET}))
+        net.register(a)
+        net.register(b)
+        assert net.dial(a, b.peer_id).failed
+        assert net.stats.dials_attempted == 1
+        assert net.stats.dials_failed == 1
+
+    def test_dialer_churning_offline_mid_dial_leaves_future_unsettled(self):
+        # The 5 s timeout callback for a dial to an unreachable target
+        # must not fire for a dialer that itself went offline: its
+        # teardown already owns the pending dial's fate.
+        sim, net = make_net()
+        a, b = SimHost(pid(b"a")), SimHost(pid(b"b"), online=False)
+        net.register(a)
+        net.register(b)
+        future = net.dial(a, b.peer_id)
+        sim.schedule(1.0, lambda: a.set_online(False))
+        sim.run(until=10.0)
+        assert not future.done
+        assert net.stats.dials_failed == 0

@@ -14,6 +14,7 @@ from repro.merkledag.builder import DagBuilder
 from repro.merkledag.reader import DagReader
 from repro.multiformats.cid import make_cid
 from repro.multiformats.peerid import PeerId
+from repro.utils.retry import RetryPolicy
 
 
 @settings(max_examples=30)
@@ -127,6 +128,77 @@ def test_object_cache_accounting(inserts, capacity):
         cache.insert(key, size)
         assert cache.used_bytes <= capacity
     assert cache.hits + cache.misses == expected_lookups
+
+
+retry_policies = st.builds(
+    lambda attempts, base, extra, multiplier, jitter: RetryPolicy(
+        max_attempts=attempts,
+        base_delay_s=base,
+        max_delay_s=base + extra,
+        multiplier=multiplier,
+        jitter=jitter,
+    ),
+    attempts=st.integers(min_value=2, max_value=8),
+    base=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    extra=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    jitter=st.sampled_from(["none", "full", "decorrelated"]),
+)
+
+
+@settings(max_examples=50)
+@given(policy=retry_policies, seed=st.integers(min_value=0, max_value=2**32))
+def test_retry_delays_bounded_by_cap(policy, seed):
+    """Every backoff delay any policy produces lies in [0, cap] — and
+    for jittered modes in [base, cap] — no matter the attempt number."""
+    from repro.utils.rng import rng_from_seed
+
+    rng = rng_from_seed(seed)
+    previous = policy.base_delay_s
+    for attempt in range(1, policy.max_attempts):
+        delay = policy.next_delay(attempt, previous, rng)
+        assert 0.0 <= delay <= policy.max_delay_s
+        if policy.jitter in ("full", "decorrelated"):
+            assert delay >= policy.base_delay_s
+        previous = delay
+
+
+@settings(max_examples=30)
+@given(
+    policy=retry_policies,
+    failures=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_retry_attempt_budget_never_exceeded(policy, failures, seed):
+    """However many attempts fail, the driver makes at most
+    max_attempts of them and settles with the scripted outcome."""
+    from repro.errors import ReproError
+    from repro.simnet.sim import Future, Simulator
+    from repro.utils.retry import retry
+    from repro.utils.rng import rng_from_seed
+
+    sim = Simulator()
+    made = []
+
+    def factory(attempt):
+        made.append(attempt)
+        if attempt <= failures:
+            return Future.failed_with(ReproError(f"attempt {attempt}"))
+        return Future.resolved("ok")
+
+    def proc():
+        return (yield from retry(sim, rng_from_seed(seed), policy, factory))
+
+    try:
+        result = sim.run_process(proc())
+    except ReproError:
+        result = "exhausted"
+    assert len(made) <= policy.max_attempts
+    assert made == list(range(1, len(made) + 1))
+    if failures >= policy.max_attempts:
+        assert result == "exhausted"
+    elif policy.deadline_s is None:
+        assert result == "ok"
 
 
 @settings(max_examples=15)

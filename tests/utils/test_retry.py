@@ -1,0 +1,152 @@
+"""Tests for RetryPolicy and the sim-time retry driver."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.simnet.sim import Future, Simulator
+from repro.utils.retry import RetryPolicy, retry
+from repro.utils.rng import derive_rng
+
+
+class TestPolicy:
+    def test_default_is_disabled(self):
+        assert not RetryPolicy().enabled
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter="bogus")
+
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=1.0, max_delay_s=30.0, multiplier=2.0
+        )
+        rng = random.Random(0)
+        delays = [policy.next_delay(n, 1.0, rng) for n in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_exponential_capped(self):
+        policy = RetryPolicy(max_attempts=10, base_delay_s=1.0, max_delay_s=5.0)
+        rng = random.Random(0)
+        assert policy.next_delay(8, 1.0, rng) == 5.0
+
+    def test_no_jitter_draws_no_rng(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0)
+        rng = random.Random(0)
+        state = rng.getstate()
+        policy.next_delay(2, 1.0, rng)
+        assert rng.getstate() == state
+
+
+class TestRetryDriver:
+    def run_retry(self, policy, outcomes, seed=1):
+        """Drive retry() over scripted attempt outcomes.
+
+        ``outcomes`` maps attempt number -> value or exception; returns
+        (result-or-exception, attempts made, finish time).
+        """
+        sim = Simulator()
+        attempts = []
+
+        def factory(attempt):
+            attempts.append(attempt)
+            outcome = outcomes[attempt]
+            if isinstance(outcome, Exception):
+                return Future.failed_with(outcome)
+            return Future.resolved(outcome)
+
+        def proc():
+            result = yield from retry(
+                sim, derive_rng(seed, "retry"), policy, factory
+            )
+            return result
+
+        try:
+            result = sim.run_process(proc())
+        except Exception as exc:  # noqa: BLE001 - inspected by tests
+            result = exc
+        return result, attempts, sim.now
+
+    def test_success_on_first_attempt_never_sleeps(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0)
+        result, attempts, now = self.run_retry(policy, {1: "ok"})
+        assert result == "ok"
+        assert attempts == [1]
+        assert now == 0.0
+
+    def test_retries_until_success_with_backoff(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0, multiplier=2.0)
+        boom = ReproError("boom")
+        result, attempts, now = self.run_retry(policy, {1: boom, 2: boom, 3: "ok"})
+        assert result == "ok"
+        assert attempts == [1, 2, 3]
+        assert now == 3.0  # 1 s + 2 s of backoff
+
+    def test_attempt_budget_exhausted_raises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.5)
+        first, second = ReproError("first"), ReproError("second")
+        result, attempts, _ = self.run_retry(policy, {1: first, 2: second})
+        assert result is second
+        assert attempts == [1, 2]
+
+    def test_deadline_stops_before_sleeping_across_it(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=4.0, deadline_s=10.0
+        )
+        boom = ReproError("boom")
+        result, attempts, now = self.run_retry(
+            policy, {n: boom for n in range(1, 11)}
+        )
+        assert result is boom
+        # Backoff 4 s, then 8 s would cross the 10 s deadline.
+        assert attempts == [1, 2]
+        assert now == 4.0
+
+    def test_zero_delay_schedules_no_sleep(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, max_delay_s=0.0)
+        boom = ReproError("boom")
+        result, attempts, now = self.run_retry(policy, {1: boom, 2: "ok"})
+        assert result == "ok"
+        assert now == 0.0
+
+    def test_on_retry_called_once_per_reattempt(self):
+        sim = Simulator()
+        seen = []
+        boom = ReproError("boom")
+        outcomes = {1: boom, 2: boom, 3: "ok"}
+
+        def factory(attempt):
+            outcome = outcomes[attempt]
+            if isinstance(outcome, Exception):
+                return Future.failed_with(outcome)
+            return Future.resolved(outcome)
+
+        def proc():
+            return (yield from retry(
+                sim, derive_rng(1, "retry"),
+                RetryPolicy(max_attempts=3, base_delay_s=0.1),
+                factory,
+                on_retry=lambda attempt, error: seen.append((attempt, error)),
+            ))
+
+        assert sim.run_process(proc()) == "ok"
+        assert seen == [(1, boom), (2, boom)]
+
+    def test_decorrelated_delays_stay_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=0.5, max_delay_s=3.0,
+            jitter="decorrelated",
+        )
+        boom = ReproError("boom")
+        result, attempts, now = self.run_retry(
+            policy, {n: boom for n in range(1, 9)}, seed=5
+        )
+        assert result is boom
+        assert attempts == list(range(1, 9))
+        # 7 sleeps, each within [base, cap].
+        assert 7 * 0.5 <= now <= 7 * 3.0
