@@ -99,6 +99,18 @@ class BitswapEngine:
         peers and returns the first PeerId answering IHAVE, or ``None``
         when the window closes (or there is nobody to ask).
         """
+        tracer = self.network.tracer
+        if not tracer.enabled:
+            return (yield from self._discover_connected(cid, timeout))
+        with tracer.span("bitswap.discover", cid=str(cid)) as span:
+            winner = yield from self._discover_connected(cid, timeout)
+            span.set_attrs(
+                found=winner is not None,
+                peer=None if winner is None else str(winner),
+            )
+            return winner
+
+    def _discover_connected(self, cid: Cid, timeout: float) -> Generator:
         peers = self.host.connected_peers()
         if not peers:
             yield timeout  # the window still elapses before DHT fallback
@@ -136,6 +148,17 @@ class BitswapEngine:
         Raises :class:`RetrievalError` when the peer answers without
         the block or the bytes fail CID verification.
         """
+        tracer = self.network.tracer
+        if not tracer.enabled:
+            return (yield from self._fetch_block(cid, peer_id))
+        with tracer.span(
+            "bitswap.fetch_block", cid=str(cid), peer=str(peer_id)
+        ) as span:
+            result = yield from self._fetch_block(cid, peer_id)
+            span.set_attrs(size=result.block.size)
+            return result
+
+    def _fetch_block(self, cid: Cid, peer_id: PeerId) -> Generator:
         self.wantlist.add(cid, want_type=WantType.BLOCK)
         start = self.sim.now
         request = WantBlockRequest(cid)

@@ -102,6 +102,17 @@ class BitswapSession:
         Blocks the local store already holds are not re-fetched
         (universal caching from any peer, Section 3.3).
         """
+        tracer = self.engine.network.tracer
+        if not tracer.enabled:
+            return (yield from self._fetch_dag(root, window))
+        with tracer.span(
+            "bitswap.session", root=str(root), providers=len(self.providers)
+        ) as span:
+            order = yield from self._fetch_dag(root, window)
+            span.set_attrs(blocks=self.blocks_fetched, bytes=self.bytes_fetched)
+            return order
+
+    def _fetch_dag(self, root: Cid, window: int) -> Generator:
         from repro.simnet.sim import all_of
 
         order: list[Cid] = []

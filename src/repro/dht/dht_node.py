@@ -192,6 +192,11 @@ class DhtNode:
         timeout-wrapped RPC the fire-and-forget publisher always sent.
         """
 
+        tracer = self.network.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span("dht.store", method=method, peer=str(peer_id))
+
         def attempt(_attempt: int) -> Future:
             return with_timeout(
                 self.sim,
@@ -203,16 +208,26 @@ class DhtNode:
 
         policy = self.config.store_retry
         if not policy.enabled:
-            return attempt(1)
+            future = attempt(1)
+        else:
+            def on_retry(_attempt: int, error: BaseException) -> None:
+                self.network.stats.retries_attempted += 1
+                if isinstance(error, TimeoutError_):
+                    self.network.stats.rpcs_timed_out += 1
 
-        def on_retry(_attempt: int, error: BaseException) -> None:
-            self.network.stats.retries_attempted += 1
-            if isinstance(error, TimeoutError_):
-                self.network.stats.rpcs_timed_out += 1
+            future = self.sim.spawn(
+                retry(self.sim, self.rng, policy, attempt, on_retry)
+            ).future
+        if span is not None:
+            def finish(settled: Future) -> None:
+                if settled.failed:
+                    span.end(status="error",
+                             error=type(settled.exception()).__name__)
+                else:
+                    span.end()
 
-        return self.sim.spawn(
-            retry(self.sim, self.rng, policy, attempt, on_retry)
-        ).future
+            future.add_callback(finish)
+        return future
 
     def _count_store_outcomes(self, results: list) -> int:
         """Tally stats for a store batch; returns the success count."""
@@ -239,59 +254,68 @@ class DhtNode:
         forget"): the publisher does not retry or abort on unresponsive
         peers.
         """
-        key = key_for_cid(cid)
-        walk_start = self.sim.now
-        closest, stats = yield from get_closest_peers(self, key)
-        walk_duration = self.sim.now - walk_start
-        if not closest:
-            raise PublishError(f"no peers found to store provider record for {cid}")
-        record = ProviderRecord(cid, self.host.peer_id, self.sim.now)
-        request = rpc.AddProviderRequest(record, self.announce_addresses)
-        # go-ipfs's connection manager trims the dozens of connections a
-        # walk opens, so the store RPCs mostly re-dial their targets —
-        # that re-dial is where Figure 9c's 5 s / 45 s timeout spikes
-        # come from (Section 6.1).
-        for peer_id in closest:
-            self.network.disconnect(self.host, peer_id)
-        rpc_start = self.sim.now
-        # The store RPCs run without the walk's tight per-query
-        # deadline: a WebSocket-only target can burn its whole 45 s
-        # handshake timeout here (Figure 9c's second spike).
-        futures = [
-            self._store_rpc(
-                peer_id, rpc.ADD_PROVIDER, request,
-                request_size=rpc.PROVIDER_RECORD_SIZE, timeout_s=60.0,
+        tracer = self.network.tracer
+        with tracer.span("dht.provide", cid=str(cid)) as provide_span:
+            key = key_for_cid(cid)
+            walk_start = self.sim.now
+            closest, stats = yield from get_closest_peers(self, key)
+            walk_duration = self.sim.now - walk_start
+            if not closest:
+                raise PublishError(f"no peers found to store provider record for {cid}")
+            record = ProviderRecord(cid, self.host.peer_id, self.sim.now)
+            request = rpc.AddProviderRequest(record, self.announce_addresses)
+            # go-ipfs's connection manager trims the dozens of connections a
+            # walk opens, so the store RPCs mostly re-dial their targets —
+            # that re-dial is where Figure 9c's 5 s / 45 s timeout spikes
+            # come from (Section 6.1).
+            for peer_id in closest:
+                self.network.disconnect(self.host, peer_id)
+            rpc_start = self.sim.now
+            # The store RPCs run without the walk's tight per-query
+            # deadline: a WebSocket-only target can burn its whole 45 s
+            # handshake timeout here (Figure 9c's second spike).
+            with tracer.span("dht.store_batch", targets=len(closest)) as batch_span:
+                futures = [
+                    self._store_rpc(
+                        peer_id, rpc.ADD_PROVIDER, request,
+                        request_size=rpc.PROVIDER_RECORD_SIZE, timeout_s=60.0,
+                    )
+                    for peer_id in closest
+                ]
+                results = yield all_of(futures)
+                succeeded = self._count_store_outcomes(results)
+                batch_span.set_attrs(stored=succeeded)
+            rpc_duration = self.sim.now - rpc_start
+            provide_span.set_attrs(
+                peers_stored=succeeded, peers_targeted=len(closest)
             )
-            for peer_id in closest
-        ]
-        results = yield all_of(futures)
-        succeeded = self._count_store_outcomes(results)
-        rpc_duration = self.sim.now - rpc_start
-        return {
-            "cid": cid,
-            "peers_stored": succeeded,
-            "peers_targeted": len(closest),
-            "walk_duration": walk_duration,
-            "rpc_batch_duration": rpc_duration,
-            "total_duration": self.sim.now - walk_start,
-            "walk_stats": stats,
-        }
+            return {
+                "cid": cid,
+                "peers_stored": succeeded,
+                "peers_targeted": len(closest),
+                "walk_duration": walk_duration,
+                "rpc_batch_duration": rpc_duration,
+                "total_duration": self.sim.now - walk_start,
+                "walk_stats": stats,
+            }
 
     def publish_peer_record(self, addresses: tuple[Multiaddr, ...]) -> Generator:
         """Publish our PeerID -> addresses mapping (Section 3.1)."""
-        record = PeerRecord(self.host.peer_id, addresses, self.sim.now)
-        key = key_for_peer(self.host.peer_id)
-        closest, stats = yield from get_closest_peers(self, key)
-        futures = [
-            self._store_rpc(
-                peer_id, rpc.PUT_PEER_RECORD, rpc.PutPeerRecordRequest(record),
-                request_size=rpc.PEER_ENTRY_SIZE, timeout_s=self.config.rpc_timeout_s,
-            )
-            for peer_id in closest
-        ]
-        results = yield all_of(futures)
-        succeeded = self._count_store_outcomes(results)
-        return {"peers_stored": succeeded, "walk_stats": stats}
+        with self.network.tracer.span("dht.put_peer_record") as span:
+            record = PeerRecord(self.host.peer_id, addresses, self.sim.now)
+            key = key_for_peer(self.host.peer_id)
+            closest, stats = yield from get_closest_peers(self, key)
+            futures = [
+                self._store_rpc(
+                    peer_id, rpc.PUT_PEER_RECORD, rpc.PutPeerRecordRequest(record),
+                    request_size=rpc.PEER_ENTRY_SIZE, timeout_s=self.config.rpc_timeout_s,
+                )
+                for peer_id in closest
+            ]
+            results = yield all_of(futures)
+            succeeded = self._count_store_outcomes(results)
+            span.set_attrs(peers_stored=succeeded, peers_targeted=len(closest))
+            return {"peers_stored": succeeded, "walk_stats": stats}
 
     def find_providers(self, cid: Cid, max_providers: int = 1) -> Generator:
         """Content discovery walk; returns ``(records, LookupStats)``."""
@@ -303,22 +327,24 @@ class DhtNode:
 
     def put_value(self, key: bytes, value: bytes) -> Generator:
         """Store an opaque value on the k closest peers (IPNS publish)."""
-        closest, stats = yield from get_closest_peers(self, key)
-        futures = [
-            self._store_rpc(
-                peer_id, rpc.PUT_VALUE, rpc.PutValueRequest(key, value),
-                request_size=64 + len(value), timeout_s=self.config.rpc_timeout_s,
+        with self.network.tracer.span("dht.put_value") as span:
+            closest, stats = yield from get_closest_peers(self, key)
+            futures = [
+                self._store_rpc(
+                    peer_id, rpc.PUT_VALUE, rpc.PutValueRequest(key, value),
+                    request_size=64 + len(value), timeout_s=self.config.rpc_timeout_s,
+                )
+                for peer_id in closest
+            ]
+            results = yield all_of(futures)
+            self._count_store_outcomes(results)
+            stored = sum(
+                1
+                for result in results
+                if not isinstance(result, BaseException) and result
             )
-            for peer_id in closest
-        ]
-        results = yield all_of(futures)
-        self._count_store_outcomes(results)
-        stored = sum(
-            1
-            for result in results
-            if not isinstance(result, BaseException) and result
-        )
-        return {"peers_stored": stored, "walk_stats": stats}
+            span.set_attrs(peers_stored=stored, peers_targeted=len(closest))
+            return {"peers_stored": stored, "walk_stats": stats}
 
     def get_value(self, key: bytes) -> Generator:
         """Resolve an opaque value; returns ``(value_or_None, stats)``."""

@@ -84,9 +84,10 @@ class _Candidate:
 class _Walk:
     """Shared machinery for all three walk kinds."""
 
-    def __init__(self, node: "DhtNode", target_key: bytes) -> None:
+    def __init__(self, node: "DhtNode", target_key: bytes, kind: str = "closest") -> None:
         self.node = node
         self.config = node.config
+        self.kind = kind
         self.target_key = target_key
         self.target_int = int.from_bytes(target_key, "big")
         self.stats = LookupStats()
@@ -116,6 +117,12 @@ class _Walk:
     def _launch(self, candidate: _Candidate, method: str, request: Any, size: int) -> None:
         candidate.state = "inflight"
         network = self.node.network
+        hop_span = None
+        if network.tracer.enabled:
+            hop_span = network.tracer.start_span(
+                "dht.walk.hop", peer=str(candidate.peer_id),
+                depth=candidate.depth,
+            )
 
         def attempt(attempt_index: int) -> Future:
             self.stats.rpcs_sent += 1
@@ -145,6 +152,12 @@ class _Walk:
         self._next_tag += 1
 
         def settle(inner: Future) -> None:
+            if hop_span is not None:
+                if inner.failed:
+                    hop_span.end(status="error",
+                                 error=type(inner.exception()).__name__)
+                else:
+                    hop_span.end()
             outcome.resolve((tag, inner))
 
         future.add_callback(settle)
@@ -190,8 +203,29 @@ class _Walk:
         """Drive the walk; ``handle_response`` returns True to finish.
 
         Returns the sorted list of successfully-queried closest peers
-        (meaningful for the closest-peers walk).
+        (meaningful for the closest-peers walk). When tracing is on the
+        whole walk is one ``dht.walk`` span with a ``dht.walk.hop``
+        child per queried candidate.
         """
+        tracer = self.node.network.tracer
+        if not tracer.enabled:
+            return (yield from self._run(make_request, handle_response, want_closest))
+        with tracer.span("dht.walk", kind=self.kind) as span:
+            try:
+                return (yield from self._run(make_request, handle_response, want_closest))
+            finally:
+                span.set_attrs(
+                    rpcs=self.stats.rpcs_sent, ok=self.stats.rpcs_ok,
+                    failed=self.stats.rpcs_failed, hops=self.stats.hops,
+                    exhausted=self.stats.exhausted,
+                )
+
+    def _run(
+        self,
+        make_request: Callable[[], tuple[str, Any, int]],
+        handle_response: Callable[[PeerId, Any], bool],
+        want_closest: bool,
+    ) -> Generator:
         config = self.config
         while True:
             live = self._sorted_live()
@@ -239,7 +273,7 @@ class _Walk:
 
 def get_closest_peers(node: "DhtNode", target_key: bytes) -> Generator:
     """The closest-peers walk; returns ``(peers, stats)``."""
-    walk = _Walk(node, target_key)
+    walk = _Walk(node, target_key, kind="closest")
 
     def make_request() -> tuple[str, Any, int]:
         return rpc.FIND_NODE, rpc.FindNodeRequest(target_key), 64
@@ -251,7 +285,7 @@ def get_closest_peers(node: "DhtNode", target_key: bytes) -> Generator:
 def find_providers(node: "DhtNode", cid: Cid, max_providers: int = 1) -> Generator:
     """The provider walk; returns ``(provider_records, stats)``."""
     key = key_for_cid(cid)
-    walk = _Walk(node, key)
+    walk = _Walk(node, key, kind="providers")
     found: list = []
     seen_providers: set[PeerId] = set()
 
@@ -274,7 +308,7 @@ def find_providers(node: "DhtNode", cid: Cid, max_providers: int = 1) -> Generat
 def find_peer_record(node: "DhtNode", peer_id: PeerId) -> Generator:
     """The peer-record walk; returns ``(record_or_None, stats)``."""
     key = key_for_peer(peer_id)
-    walk = _Walk(node, key)
+    walk = _Walk(node, key, kind="peer_record")
     box: list = []
 
     def make_request() -> tuple[str, Any, int]:
@@ -299,7 +333,7 @@ def find_value(node: "DhtNode", key: bytes) -> Generator:
     validator picks among what a quorum-of-one finds, which preserves
     the resolution path's latency shape).
     """
-    walk = _Walk(node, key)
+    walk = _Walk(node, key, kind="value")
     box: list = []
 
     def make_request() -> tuple[str, Any, int]:

@@ -20,12 +20,15 @@ simulated-time budget and counts as failed when the budget expires.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from repro.dht.lookup import LookupConfig
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.node.config import NodeConfig
+from repro.obs import Observability
+from repro.simnet.network import NetworkStats
 from repro.simnet.faults import FaultInjector, FaultPlan
 from repro.simnet.sim import with_timeout
 from repro.utils.retry import RetryPolicy
@@ -77,6 +80,11 @@ class ChaosConfig:
     #: Simulated seconds before an unfinished retrieval counts as
     #: failed (a lost want with no retry never settles on its own).
     retrieval_budget_s: float = 180.0
+    #: Extra simulated seconds to run each level's world after the last
+    #: retrieval, letting in-flight dials and timers settle so the
+    #: reported :class:`NetworkStats` are coherent (the invariant tests
+    #: set this; 0 reports the instant the sweep ends, as always).
+    settle_s: float = 0.0
 
 
 @dataclass
@@ -91,6 +99,9 @@ class ChaosLevelResult:
     retries_attempted: int = 0
     rpcs_timed_out: int = 0
     evictions: int = 0
+    #: snapshot of the level's :class:`NetworkStats` at sweep end (each
+    #: level runs its own world, so these are per-level counters).
+    stats: NetworkStats | None = None
 
     @property
     def succeeded(self) -> int:
@@ -122,7 +133,11 @@ def _drain_unpinned(node) -> None:
             node.blockstore.delete(cid)
 
 
-def _run_level(config: ChaosConfig, intensity: float) -> ChaosLevelResult:
+def _run_level(
+    config: ChaosConfig,
+    intensity: float,
+    obs: Observability | None = None,
+) -> ChaosLevelResult:
     population = generate_population(
         PopulationConfig(n_peers=config.n_peers),
         derive_rng(config.seed, "chaos-pop"),
@@ -134,6 +149,11 @@ def _run_level(config: ChaosConfig, intensity: float) -> ChaosLevelResult:
         vantage_regions=[PUBLISHER_REGION, GETTER_REGION],
     )
     sim, net = scenario.sim, scenario.net
+    if obs is not None:
+        net.install_observability(obs)
+        obs.tracer.event(
+            "chaos.level", intensity=intensity, with_retries=config.with_retries
+        )
     publisher = scenario.vantage[PUBLISHER_REGION]
     getter = scenario.vantage[GETTER_REGION]
     injector = FaultInjector(
@@ -171,6 +191,8 @@ def _run_level(config: ChaosConfig, intensity: float) -> ChaosLevelResult:
                 outcomes.append(sim.now - started)
 
     sim.run_process(driver())
+    if config.settle_s > 0.0:
+        sim.run(until=sim.now + config.settle_s)
 
     evictions = sum(node.routing_table.evictions for node in scenario.backdrop)
     evictions += sum(
@@ -185,13 +207,22 @@ def _run_level(config: ChaosConfig, intensity: float) -> ChaosLevelResult:
         retries_attempted=net.stats.retries_attempted,
         rpcs_timed_out=net.stats.rpcs_timed_out,
         evictions=evictions,
+        stats=dataclasses.replace(net.stats),
     )
 
 
-def run_chaos_experiment(config: ChaosConfig | None = None) -> ChaosResults:
-    """Sweep the configured intensities; one fresh world per level."""
+def run_chaos_experiment(
+    config: ChaosConfig | None = None,
+    obs: Observability | None = None,
+) -> ChaosResults:
+    """Sweep the configured intensities; one fresh world per level.
+
+    With an :class:`~repro.obs.Observability`, the tracer is carried
+    across the per-level worlds (clock rebinding included) so one trace
+    stream covers the whole sweep.
+    """
     config = config if config is not None else ChaosConfig()
     results = ChaosResults(config=config)
     for intensity in config.intensities:
-        results.levels.append(_run_level(config, intensity))
+        results.levels.append(_run_level(config, intensity, obs))
     return results

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.scenario import AWS_REGIONS, Scenario
 from repro.node.host import PublishReceipt, RetrievalReceipt
+from repro.obs import Observability
 from repro.utils.rng import derive_rng
 from repro.utils.stats import percentiles
 from repro.workloads.objects import PERF_OBJECT_SIZE
@@ -73,8 +74,21 @@ class PerfResults:
         return table
 
 
-def run_perf_experiment(scenario: Scenario, config: PerfConfig) -> PerfResults:
-    """Drive the rounds to completion; returns all receipts."""
+def run_perf_experiment(
+    scenario: Scenario,
+    config: PerfConfig,
+    obs: Observability | None = None,
+) -> PerfResults:
+    """Drive the rounds to completion; returns all receipts.
+
+    Passing an :class:`~repro.obs.Observability` records every phase of
+    every operation as sim-time spans (and mirrors the network counters
+    into its metrics registry) without changing any receipt: the tracer
+    only reads the clock.
+    """
+    if obs is not None:
+        scenario.net.install_observability(obs)
+    tracer = scenario.net.tracer
     results = PerfResults(
         publications={region: [] for region in config.regions},
         retrievals={region: [] for region in config.regions},
@@ -88,6 +102,12 @@ def run_perf_experiment(scenario: Scenario, config: PerfConfig) -> PerfResults:
             yield from node.publish_peer_record()
         for round_index in range(config.rounds):
             for publisher_region in config.regions:
+                if tracer.enabled:
+                    tracer.event(
+                        "perf.round",
+                        round=round_index,
+                        publisher=publisher_region,
+                    )
                 publisher = scenario.vantage[publisher_region]
                 payload = rng.randbytes(config.object_size)
                 root = publisher.add_bytes(payload).root
@@ -124,4 +144,6 @@ def run_perf_experiment(scenario: Scenario, config: PerfConfig) -> PerfResults:
                         node.address_book.forget(other.peer_id)
 
     scenario.sim.run_process(experiment())
+    if obs is not None:
+        obs.metrics.absorb_network_stats(scenario.net.stats)
     return results

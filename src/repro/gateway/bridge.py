@@ -79,18 +79,20 @@ class GatewayBridge:
         through the bridge node.
         """
         start = self.node.sim.now
-        if self.web_cache.lookup(cid):
-            size = self.node.reader.total_size(cid)
-            tier = CacheTier.NGINX
-        elif self.node.reader.has_complete_dag(cid):
-            size = self.node.reader.total_size(cid)
-            tier = CacheTier.NODE_STORE
-            yield node_store_latency(self.node.rng)
-        else:
-            yield from self._retrieve_upstream(cid)
-            size = self.node.reader.total_size(cid)
-            tier = CacheTier.NON_CACHED
-            self.web_cache.insert(cid, size)
+        with self.node.network.tracer.span("gateway.get", cid=str(cid)) as span:
+            if self.web_cache.lookup(cid):
+                size = self.node.reader.total_size(cid)
+                tier = CacheTier.NGINX
+            elif self.node.reader.has_complete_dag(cid):
+                size = self.node.reader.total_size(cid)
+                tier = CacheTier.NODE_STORE
+                yield node_store_latency(self.node.rng)
+            else:
+                yield from self._retrieve_upstream(cid)
+                size = self.node.reader.total_size(cid)
+                tier = CacheTier.NON_CACHED
+                self.web_cache.insert(cid, size)
+            span.set_attrs(tier=tier.name.lower(), size=size)
         latency = self.node.sim.now - start
         entry = AccessLogEntry(
             timestamp=start, user=user, country=country,

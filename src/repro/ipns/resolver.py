@@ -69,12 +69,19 @@ class IpnsPublisher:
 
         Returns ``(record, peers_stored)``.
         """
-        record = make_record(
-            self.keypair, value, self.sequence, self.dht.sim.now, validity_s
-        )
-        self.sequence += 1
-        result = yield from self.dht.put_value(ipns_key_for(self.name), record.encode())
-        return record, result["peers_stored"]
+        with self.dht.network.tracer.span(
+            "ipns.publish", name=str(self.name)
+        ) as span:
+            record = make_record(
+                self.keypair, value, self.sequence, self.dht.sim.now, validity_s
+            )
+            self.sequence += 1
+            result = yield from self.dht.put_value(
+                ipns_key_for(self.name), record.encode()
+            )
+            span.set_attrs(sequence=record.sequence,
+                           peers_stored=result["peers_stored"])
+            return record, result["peers_stored"]
 
 
 class IpnsResolver:
@@ -104,6 +111,12 @@ class IpnsResolver:
         Raises :class:`IpnsError` when no valid record can be found
         (unknown name, expired record, or forged bytes).
         """
+        with self.dht.network.tracer.span("ipns.resolve", name=str(name)) as span:
+            value = yield from self._resolve(name)
+            span.set_attrs(value=str(value))
+            return value
+
+    def _resolve(self, name: PeerId) -> Generator:
         policy = self.retry_policy
         if policy is None or not policy.enabled:
             value = yield from self._resolve_once(name)

@@ -174,17 +174,22 @@ class IpfsNode:
         """Announce ``cid`` to the DHT; returns a :class:`PublishReceipt`."""
         if not self.blockstore.has(cid):
             raise RetrievalError(f"cannot publish content we do not hold: {cid}")
-        result = yield from self.dht.provide(cid)
-        self.published.add(cid)
-        return PublishReceipt(
-            cid=cid,
-            walk_duration=result["walk_duration"],
-            rpc_batch_duration=result["rpc_batch_duration"],
-            total_duration=result["total_duration"],
-            peers_stored=result["peers_stored"],
-            peers_targeted=result["peers_targeted"],
-            walk_rpcs=result["walk_stats"].rpcs_sent,
-        )
+        with self.network.tracer.span("node.publish", cid=str(cid)) as span:
+            result = yield from self.dht.provide(cid)
+            self.published.add(cid)
+            span.set_attrs(
+                peers_stored=result["peers_stored"],
+                peers_targeted=result["peers_targeted"],
+            )
+            return PublishReceipt(
+                cid=cid,
+                walk_duration=result["walk_duration"],
+                rpc_batch_duration=result["rpc_batch_duration"],
+                total_duration=result["total_duration"],
+                peers_stored=result["peers_stored"],
+                peers_targeted=result["peers_targeted"],
+                walk_rpcs=result["walk_stats"].rpcs_sent,
+            )
 
     def publish_peer_record(self) -> Generator:
         """Announce our PeerID -> Multiaddress mapping (Section 3.1)."""
@@ -244,74 +249,87 @@ class IpfsNode:
         alongside the Bitswap window instead of after it (the
         Section 6.2 proposal).
         """
+        tracer = self.network.tracer
         start = self.sim.now
-        if self.config.parallel_discovery:
-            provider, timings = yield from self._discover_parallel(cid)
-        else:
-            provider, timings = yield from self._discover_sequential(cid)
-        bitswap_window, provider_walk, via_bitswap = timings
-
-        # Peer discovery: address book, then the address hint a
-        # GET_PROVIDERS response may have attached (go-ipfs providers
-        # self-report addresses with a 30 min TTL), else the second
-        # DHT walk.
-        peer_walk = 0.0
-        if not via_bitswap and not self.host.is_connected(provider):
-            if self.address_book.lookup(provider) is None:
-                hint = (
-                    self.dht.address_hints.pop(provider, None)
-                    if self.config.provider_addr_hints
-                    else None
-                )
-                if hint is not None:
-                    self.address_book.record(provider, hint.addresses)
+        with tracer.span("node.retrieve", cid=str(cid)) as root_span:
+            with tracer.span("retrieve.discover"):
+                if self.config.parallel_discovery:
+                    provider, timings = yield from self._discover_parallel(cid)
                 else:
-                    walk_start = self.sim.now
-                    record, _ = yield from self.dht.find_peer(provider)
-                    peer_walk = self.sim.now - walk_start
-                    if record is None:
-                        raise PeerNotFoundError(f"no peer record for {provider}")
-                    self.address_book.record(provider, record.addresses)
+                    provider, timings = yield from self._discover_sequential(cid)
+            bitswap_window, provider_walk, via_bitswap = timings
 
-        # Peer routing: connect to the provider. Failed handshakes are
-        # re-dialed under the node's dial policy (the default of two
-        # immediate attempts is go-ipfs walking the peer's other
-        # addresses).
-        dial_start = self.sim.now
-        if not self.host.is_connected(provider):
-            yield from retry(
-                self.sim, self.rng, self.config.dial_retry,
-                lambda _attempt: self.network.dial(self.host, provider),
-                self._count_retry,
+            # Peer discovery: address book, then the address hint a
+            # GET_PROVIDERS response may have attached (go-ipfs providers
+            # self-report addresses with a 30 min TTL), else the second
+            # DHT walk.
+            peer_walk = 0.0
+            if not via_bitswap and not self.host.is_connected(provider):
+                if self.address_book.lookup(provider) is None:
+                    hint = (
+                        self.dht.address_hints.pop(provider, None)
+                        if self.config.provider_addr_hints
+                        else None
+                    )
+                    if hint is not None:
+                        self.address_book.record(provider, hint.addresses)
+                    else:
+                        with tracer.span("retrieve.peer_discovery"):
+                            walk_start = self.sim.now
+                            record, _ = yield from self.dht.find_peer(provider)
+                            peer_walk = self.sim.now - walk_start
+                            if record is None:
+                                raise PeerNotFoundError(
+                                    f"no peer record for {provider}"
+                                )
+                            self.address_book.record(provider, record.addresses)
+
+            # Peer routing: connect to the provider. Failed handshakes are
+            # re-dialed under the node's dial policy (the default of two
+            # immediate attempts is go-ipfs walking the peer's other
+            # addresses).
+            dial_start = self.sim.now
+            with tracer.span("retrieve.dial"):
+                if not self.host.is_connected(provider):
+                    yield from retry(
+                        self.sim, self.rng, self.config.dial_retry,
+                        lambda _attempt: self.network.dial(self.host, provider),
+                        self._count_retry,
+                    )
+            dial_duration = self.sim.now - dial_start
+
+            # Content exchange.
+            fetch_start = self.sim.now
+            session = BitswapSession(
+                self.bitswap, [provider],
+                retry_policy=self.config.bitswap_retry,
+                rng=self.rng,
+                silence_timeout_s=self.config.bitswap_silence_timeout_s,
             )
-        dial_duration = self.sim.now - dial_start
+            with tracer.span("retrieve.fetch"):
+                if recursive:
+                    yield from session.fetch_dag(cid)
+                else:
+                    yield from session.fetch_one(cid)
+            fetch_duration = self.sim.now - fetch_start
 
-        # Content exchange.
-        fetch_start = self.sim.now
-        session = BitswapSession(
-            self.bitswap, [provider],
-            retry_policy=self.config.bitswap_retry,
-            rng=self.rng,
-            silence_timeout_s=self.config.bitswap_silence_timeout_s,
-        )
-        if recursive:
-            yield from session.fetch_dag(cid)
-        else:
-            yield from session.fetch_one(cid)
-        fetch_duration = self.sim.now - fetch_start
-
-        return RetrievalReceipt(
-            cid=cid,
-            provider=provider,
-            via_bitswap=via_bitswap,
-            bitswap_window=bitswap_window,
-            provider_walk_duration=provider_walk,
-            peer_walk_duration=peer_walk,
-            dial_duration=dial_duration,
-            fetch_duration=fetch_duration,
-            total_duration=self.sim.now - start,
-            bytes_fetched=session.bytes_fetched,
-        )
+            root_span.set_attrs(
+                provider=str(provider),
+                via_bitswap=via_bitswap,
+                bytes=session.bytes_fetched,
+            )
+            return RetrievalReceipt(
+                cid=cid,
+                provider=provider,
+                via_bitswap=via_bitswap,
+                bitswap_window=bitswap_window,
+                provider_walk_duration=provider_walk,
+                peer_walk_duration=peer_walk,
+                dial_duration=dial_duration,
+                fetch_duration=fetch_duration,
+                total_duration=self.sim.now - start,
+                bytes_fetched=session.bytes_fetched,
+            )
 
     def _discover_sequential(self, cid: Cid) -> Generator:
         """Bitswap window first, DHT walk only on a miss (the default)."""

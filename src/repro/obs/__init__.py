@@ -1,0 +1,58 @@
+"""Observability for the simulator: sim-time tracing and metrics.
+
+``Observability`` bundles a :class:`Tracer` and a
+:class:`MetricsRegistry`; install one on a
+:class:`~repro.simnet.network.SimNetwork` with
+``net.install_observability(obs)`` and every instrumented layer above
+it (DHT walks, Bitswap, IPNS, the gateway, node publish/retrieve)
+starts recording. Networks without one carry :data:`NULL_TRACER`, so
+the instrumented hot paths cost nothing and seeded runs stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.breakdown import (
+    PhaseRow,
+    SpanRecord,
+    load_trace,
+    phase_breakdown,
+    publication_breakdown,
+    records_from_tracer,
+    retrieval_breakdown,
+    walk_share,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
+
+
+@dataclass
+class Observability:
+    """One tracing + metrics context, shared by a simulated world."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "PhaseRow",
+    "Span",
+    "SpanRecord",
+    "TraceEvent",
+    "Tracer",
+    "load_trace",
+    "phase_breakdown",
+    "publication_breakdown",
+    "records_from_tracer",
+    "retrieval_breakdown",
+    "walk_share",
+]

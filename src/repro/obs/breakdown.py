@@ -1,0 +1,168 @@
+"""Per-phase latency breakdowns computed from recorded spans.
+
+The paper's headline numbers are *shares*: the DHT walk is 87.9 % of a
+publication (§6.1), retrievals split into walks vs. the Bitswap fetch
+(§6.2, Figs 9/10). The seed derived these from ad-hoc timers inside
+receipts; this module derives them from the trace itself, so any
+instrumented operation gets a breakdown for free.
+
+Works over live :class:`~repro.obs.trace.Tracer` spans or a JSONL
+trace exported by :func:`repro.tools.export.export_trace` — both are
+normalized to :class:`SpanRecord`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One exported span, decoupled from the live tracer."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+
+def records_from_tracer(tracer) -> list[SpanRecord]:
+    """Snapshot a tracer's spans (open spans keep ``end=None``)."""
+    return [
+        SpanRecord(
+            span_id=span.span_id, parent_id=span.parent_id, name=span.name,
+            start=span.start_time, end=span.end_time, status=span.status,
+            attrs=dict(span.attrs),
+        )
+        for span in tracer.spans
+    ]
+
+
+def load_trace(path: str | pathlib.Path) -> list[SpanRecord]:
+    """Read span records back out of an exported JSONL trace
+    (event records are skipped — breakdowns are about intervals)."""
+    records = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            row = json.loads(line)
+            if row.get("kind") != "span":
+                continue
+            records.append(SpanRecord(
+                span_id=row["id"], parent_id=row["parent"], name=row["name"],
+                start=row["t0"], end=row["t1"], status=row.get("status", "ok"),
+                attrs=row.get("attrs", {}),
+            ))
+    return records
+
+
+def _children_index(records: list[SpanRecord]) -> dict[int, list[SpanRecord]]:
+    index: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        if record.parent_id is not None:
+            index.setdefault(record.parent_id, []).append(record)
+    return index
+
+
+def descendants(
+    root: SpanRecord, index: dict[int, list[SpanRecord]]
+) -> list[SpanRecord]:
+    """All spans transitively under ``root`` (depth-first, stable)."""
+    out: list[SpanRecord] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        children = index.get(node.span_id, [])
+        out.extend(children)
+        stack.extend(reversed(children))
+    return out
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One row of a breakdown table."""
+
+    phase: str
+    total_s: float
+    share: float
+    count: int
+
+
+def phase_breakdown(
+    records: list[SpanRecord],
+    root_name: str,
+    phases: list[str],
+) -> list[PhaseRow]:
+    """Aggregate descendant time by phase across all ``root_name`` spans.
+
+    For every finished root span, each listed phase gets the summed
+    duration of the root's descendants bearing that name; whatever root
+    time no listed phase covers lands in an ``(other)`` row, so shares
+    always account for 100 % of the operation.
+    """
+    roots = [r for r in records if r.name == root_name and r.end is not None]
+    if not roots:
+        return []
+    index = _children_index(records)
+    totals = {phase: 0.0 for phase in phases}
+    counts = {phase: 0 for phase in phases}
+    grand_total = 0.0
+    for root in roots:
+        grand_total += root.duration
+        for child in descendants(root, index):
+            if child.name in totals and child.end is not None:
+                totals[child.name] += child.duration
+                counts[child.name] += 1
+    covered = sum(totals.values())
+    rows = [
+        PhaseRow(phase, totals[phase],
+                 totals[phase] / grand_total if grand_total else 0.0,
+                 counts[phase])
+        for phase in phases
+    ]
+    rows.append(PhaseRow(
+        "(other)", max(grand_total - covered, 0.0),
+        (max(grand_total - covered, 0.0) / grand_total) if grand_total else 0.0,
+        len(roots),
+    ))
+    return rows
+
+
+def publication_breakdown(records: list[SpanRecord]) -> list[PhaseRow]:
+    """The §6.1 split: DHT walk vs. provider-record store RPCs."""
+    return phase_breakdown(records, "node.publish", ["dht.walk", "dht.store_batch"])
+
+
+def retrieval_breakdown(records: list[SpanRecord]) -> list[PhaseRow]:
+    """The §6.2 split: discovery (window + walks) vs. dial vs. fetch."""
+    return phase_breakdown(
+        records, "node.retrieve",
+        ["retrieve.discover", "retrieve.peer_discovery",
+         "retrieve.dial", "retrieve.fetch"],
+    )
+
+
+def walk_share(records: list[SpanRecord], root_name: str = "node.publish") -> float:
+    """Fraction of ``root_name`` operation time spent inside DHT walks
+    (the paper's 87.9 % for publications)."""
+    roots = [r for r in records if r.name == root_name and r.end is not None]
+    if not roots:
+        raise ValueError(f"no finished {root_name!r} spans in trace")
+    index = _children_index(records)
+    walk_total = 0.0
+    grand_total = 0.0
+    for root in roots:
+        grand_total += root.duration
+        walk_total += sum(
+            child.duration for child in descendants(root, index)
+            if child.name == "dht.walk" and child.end is not None
+        )
+    return walk_total / grand_total if grand_total else 0.0

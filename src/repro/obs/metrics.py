@@ -1,0 +1,152 @@
+"""Typed metrics: counters, gauges and histograms.
+
+Generalizes the fixed :class:`~repro.simnet.network.NetworkStats`
+dataclass: any layer can register a named instrument instead of adding
+a field to a shared struct. The network mirrors its counters into a
+registry on demand (:meth:`MetricsRegistry.absorb_network_stats`) and,
+when observability is installed, feeds latency histograms directly.
+
+All instruments are plain accumulators over simulated quantities — no
+wall-clock, no randomness — so metrics collection never perturbs a
+seeded run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.utils.stats import percentiles
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (e.g. peers currently online)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Keeps every sample (experiments are bounded, and the reporting
+    pipeline wants exact percentiles) plus running count/sum/min/max so
+    cheap summaries never touch the sample list.
+    """
+
+    __slots__ = ("name", "samples", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentiles(self, qs: Iterable[float]) -> list[float]:
+        if not self.samples:
+            raise ValueError(f"histogram {self.name} has no samples")
+        return percentiles(self.samples, qs)
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        p50, p90, p99 = self.percentiles([50, 90, 99])
+        return {
+            "count": self.count, "sum": self.total, "min": self.min,
+            "max": self.max, "mean": self.mean,
+            "p50": p50, "p90": p90, "p99": p99,
+        }
+
+
+class MetricsRegistry:
+    """A namespace of instruments, created on first use.
+
+    A name is permanently bound to its instrument type; asking for the
+    same name as a different type is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"{name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def absorb_network_stats(self, stats) -> None:
+        """Mirror a :class:`NetworkStats` snapshot into ``simnet.*``
+        counters (counters are monotonic, so absorb takes the max of
+        the mirrored and live value — safe to call repeatedly)."""
+        for field_name, value in vars(stats).items():
+            counter = self.counter(f"simnet.{field_name}")
+            if value > counter.value:
+                counter.value = value
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain JSON-ready dicts, sorted by name."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {"type": "histogram", **instrument.summary()}
+        return out

@@ -31,6 +31,7 @@ from repro.errors import (
     TransportTimeoutError,
 )
 from repro.multiformats.peerid import PeerId
+from repro.obs import NULL_TRACER, Observability
 from repro.simnet.faults import FaultInjector, FaultKind
 from repro.simnet.latency import LatencyModel, PeerClass, Region
 from repro.simnet.sim import Future, Simulator
@@ -66,12 +67,24 @@ class Connection:
 
 @dataclass
 class NetworkStats:
-    """Counters a network accumulates (used by experiment reports)."""
+    """Counters a network accumulates (used by experiment reports).
+
+    Invariants (asserted by ``tests/simnet/test_stats_invariants.py``,
+    holding whenever dialers stay online):
+
+    - ``dials_attempted == dials_succeeded + dials_failed``
+    - ``rpcs_completed + rpcs_timed_out <= rpcs_sent``
+    - ``bytes_transferred > 0`` iff ``rpcs_completed > 0``
+    """
 
     dials_attempted: int = 0
     dials_succeeded: int = 0
     dials_failed: int = 0
+    #: RPC attempts issued, counted at :meth:`SimNetwork.rpc` — a
+    #: request whose dial fails still counts as sent.
     rpcs_sent: int = 0
+    #: RPCs whose reply reached a caller that was still waiting; a
+    #: reply arriving after the caller's timeout is *not* a completion.
     rpcs_completed: int = 0
     bytes_transferred: int = 0
     #: RPCs whose caller-side timeout expired (counted by the protocol
@@ -179,10 +192,28 @@ class SimNetwork:
         #: optional chaos layer; ``None`` means no fault evaluation at
         #: all (the default — seeded runs stay byte-identical).
         self.faults: FaultInjector | None = None
+        #: tracing/metrics; the null tracer records nothing, and every
+        #: protocol layer above reads its tracer from here.
+        self.obs: Observability | None = None
+        self.tracer = NULL_TRACER
 
     def install_faults(self, injector: FaultInjector | None) -> None:
         """Attach (or remove, with ``None``) a fault injector."""
         self.faults = injector
+
+    def install_observability(self, obs: Observability | None) -> None:
+        """Attach (or remove, with ``None``) tracing and metrics.
+
+        Binds the tracer's clock to this network's simulator. Tracing
+        only *reads* simulation state, so installing it never changes
+        experiment results — only whether they are recorded.
+        """
+        self.obs = obs
+        if obs is None:
+            self.tracer = NULL_TRACER
+        else:
+            obs.tracer.bind_clock(lambda: self.sim.now)
+            self.tracer = obs.tracer
 
     # -- membership ---------------------------------------------------------
 
@@ -211,7 +242,27 @@ class SimNetwork:
         existing = src.connections.get(target_id)
         if existing is not None and not existing.closed:
             return Future.resolved(existing)
+        future = self._dial_uncached(src, target_id)
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "simnet.dial", src=str(src.peer_id), dst=str(target_id)
+            )
 
+            def finish(settled: Future) -> None:
+                if settled.failed:
+                    span.end(status="error",
+                             error=type(settled.exception()).__name__)
+                else:
+                    span.end(transport=settled.result().transport.value)
+                    if self.obs is not None:
+                        self.obs.metrics.histogram(
+                            "simnet.dial.latency_s"
+                        ).observe(span.duration)
+
+            future.add_callback(finish)
+        return future
+
+    def _dial_uncached(self, src: SimHost, target_id: PeerId) -> Future:
         self.stats.dials_attempted += 1
         if not src.online:
             self.stats.dials_failed += 1
@@ -327,8 +378,34 @@ class SimNetwork:
         Dials first when not connected (``auto_dial``). The response
         future *never settles* if the target churns offline mid-flight;
         protocol code wraps calls in ``with_timeout`` as go-ipfs does.
+
+        Counts one ``rpcs_sent`` per call — including attempts whose
+        dial fails — so completion/timeout tallies are always a subset
+        of the sends they refer to.
         """
+        self.stats.rpcs_sent += 1
         future: Future = Future()
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "simnet.rpc", method=method, src=str(src.peer_id),
+                dst=str(target_id),
+            )
+
+            def finish(settled: Future) -> None:
+                if settled.failed:
+                    span.end(status="error",
+                             error=type(settled.exception()).__name__)
+                else:
+                    span.end()
+                    if self.obs is not None:
+                        self.obs.metrics.histogram(
+                            "simnet.rpc.latency_s"
+                        ).observe(span.duration)
+
+            # A lost RPC never settles this future; its span then stays
+            # open and is exported as unfinished — that open interval
+            # *is* the loss, so nothing closes it artificially.
+            future.add_callback(finish)
 
         def on_dialed(dial_future: Future) -> None:
             if dial_future.failed:
@@ -392,7 +469,6 @@ class SimNetwork:
         if target is None:
             future.fail(DialError(f"unknown peer {target_id}"))
             return
-        self.stats.rpcs_sent += 1
 
         fault: FaultKind | None = None
         if self.faults is not None:
@@ -465,6 +541,10 @@ class SimNetwork:
 
         def _complete(response: Any) -> None:
             if not src.online:
+                return
+            if future.done:
+                # The caller's timeout already abandoned this RPC (see
+                # with_timeout); a late reply is not a completion.
                 return
             self.stats.rpcs_completed += 1
             future.resolve(response)

@@ -319,11 +319,19 @@ def all_of(futures: Iterable[Future]) -> Future:
 
 def with_timeout(sim: Simulator, future: Future, seconds: float) -> Future:
     """Wrap ``future`` so it fails with :class:`TimeoutError_` after
-    ``seconds`` if it has not settled."""
+    ``seconds`` if it has not settled.
+
+    Expiry also fails the *inner* future: the caller has abandoned the
+    operation, so a reply arriving later must not settle it (and must
+    not count as a completion in the network stats — this is what keeps
+    ``rpcs_completed + rpcs_timed_out <= rpcs_sent`` an invariant).
+    """
     wrapped = Future()
 
     def on_timeout() -> None:
-        wrapped.fail(TimeoutError_(f"timed out after {seconds}s"))
+        error = TimeoutError_(f"timed out after {seconds}s")
+        wrapped.fail(error)
+        future.fail(error)
 
     timer = sim.schedule(seconds, on_timeout)
 

@@ -31,6 +31,13 @@ from repro.experiments.gateway_exp import (
 from repro.experiments.perf import PerfConfig, run_perf_experiment
 from repro.experiments.report import render_cdf, render_share_table, render_table
 from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
+from repro.obs import (
+    Observability,
+    publication_breakdown,
+    records_from_tracer,
+    retrieval_breakdown,
+    walk_share,
+)
 from repro.tools import export
 from repro.utils.rng import derive_rng
 from repro.utils.stats import Cdf
@@ -65,6 +72,8 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--rounds", type=int, default=5)
     perf.add_argument("--export", metavar="FILE", default=None,
                       help="write per-operation JSONL records")
+    perf.add_argument("--trace", metavar="FILE", default=None,
+                      help="record sim-time spans and write the JSONL trace")
 
     deployment = sub.add_parser(
         "deployment", help="population analysis (Figs 5/7, Tables 2/3)"
@@ -89,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="retrievals per intensity level")
     chaos.add_argument("--export", metavar="FILE", default=None,
                        help="write per-level JSONL records")
+    chaos.add_argument("--trace", metavar="FILE", default=None,
+                       help="record sim-time spans and write the JSONL trace")
+
+    trace = sub.add_parser(
+        "trace", help="traced perf run with per-phase latency breakdown"
+    )
+    trace.add_argument("--peers", type=int, default=250)
+    trace.add_argument("--rounds", type=int, default=2)
+    trace.add_argument("--export", metavar="FILE", default=None,
+                       help="write the span/event JSONL trace")
 
     gateway = sub.add_parser("gateway", help="gateway day replay (Fig 11/Table 5)")
     gateway.add_argument("--scale", type=int, default=100,
@@ -105,8 +124,9 @@ def _cmd_perf(args) -> None:
     scenario = build_scenario(
         population, ScenarioConfig(seed=args.seed), vantage_regions=AWS_REGIONS
     )
+    obs = Observability() if args.trace else None
     results = run_perf_experiment(
-        scenario, PerfConfig(rounds=args.rounds, seed=args.seed)
+        scenario, PerfConfig(rounds=args.rounds, seed=args.seed), obs=obs
     )
     table = results.latency_percentiles()
     print(render_table(
@@ -132,6 +152,9 @@ def _cmd_perf(args) -> None:
     if args.export:
         rows = export.export_perf_dataset(results, args.export)
         print(f"\nwrote {rows} operation records to {args.export}")
+    if args.trace:
+        rows = export.export_trace(obs.tracer, args.trace)
+        print(f"wrote {rows} trace records to {args.trace}")
 
 
 def _cmd_deployment(args) -> None:
@@ -193,10 +216,11 @@ def _cmd_chaos(args) -> None:
         intensities=args.intensities,
         retrievals_per_level=args.retrievals,
     )
+    obs = Observability() if args.trace else None
     baseline = run_chaos_experiment(
-        dataclasses.replace(config, with_retries=False)
+        dataclasses.replace(config, with_retries=False), obs=obs
     )
-    resilient = run_chaos_experiment(config)
+    resilient = run_chaos_experiment(config, obs=obs)
 
     def fmt_pcts(level) -> str:
         pcts = level.latency_percentiles()
@@ -225,6 +249,50 @@ def _cmd_chaos(args) -> None:
             [baseline, resilient], args.export
         )
         print(f"\nwrote {rows_written} level records to {args.export}")
+    if args.trace:
+        rows_written = export.export_trace(obs.tracer, args.trace)
+        print(f"wrote {rows_written} trace records to {args.trace}")
+
+
+def _cmd_trace(args) -> None:
+    """Traced perf run; the Fig 9 walk/fetch split, read off the spans."""
+    population = generate_population(
+        PopulationConfig(n_peers=args.peers), derive_rng(args.seed, "cli-pop")
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=args.seed), vantage_regions=AWS_REGIONS
+    )
+    obs = Observability()
+    run_perf_experiment(
+        scenario, PerfConfig(rounds=args.rounds, seed=args.seed), obs=obs
+    )
+    records = records_from_tracer(obs.tracer)
+
+    def rows_for(breakdown) -> list[tuple]:
+        return [
+            (row.phase, f"{row.total_s:8.1f}", f"{row.share:6.1%}", row.count)
+            for row in breakdown
+        ]
+
+    print(render_table(
+        "Publication phases — from recorded spans (§6.1)",
+        ["phase", "total s", "share", "spans"],
+        rows_for(publication_breakdown(records)),
+    ))
+    print()
+    print(render_table(
+        "Retrieval phases — from recorded spans (§6.2)",
+        ["phase", "total s", "share", "spans"],
+        rows_for(retrieval_breakdown(records)),
+    ))
+    share = walk_share(records)
+    print(f"\nDHT walk share of publication time: {share:.1%}"
+          " (paper §6.1: 87.9%)")
+    print(f"spans recorded: {len(records)}"
+          f" ({len(obs.tracer.open_spans())} left open)")
+    if args.export:
+        rows = export.export_trace(obs.tracer, args.export)
+        print(f"wrote {rows} trace records to {args.export}")
 
 
 def _cmd_gateway(args) -> None:
@@ -256,6 +324,7 @@ def main(argv: list[str] | None = None) -> int:
         "crawl": _cmd_crawl,
         "chaos": _cmd_chaos,
         "gateway": _cmd_gateway,
+        "trace": _cmd_trace,
     }
     handlers[args.command](args)
     return 0

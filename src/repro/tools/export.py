@@ -23,6 +23,7 @@ from repro.experiments.chaos import ChaosResults
 from repro.experiments.deployment import CrawlCampaignResults
 from repro.experiments.perf import PerfResults
 from repro.gateway.logs import AccessLogEntry
+from repro.obs import Tracer
 
 
 def export_crawl_dataset(
@@ -119,6 +120,47 @@ def export_chaos_dataset(
                 }) + "\n")
                 rows += 1
     return rows
+
+
+def export_trace(tracer: Tracer, path: str | pathlib.Path) -> int:
+    """Write a tracer's spans and events as JSON lines; returns rows.
+
+    Records are interleaved in id order (one monotonic sequence covers
+    both kinds), so the stream is totally ordered and two identically
+    seeded runs export byte-identical files — the golden-trace
+    determinism test hashes exactly this output. Open spans (an RPC
+    whose reply was lost, a retrieval abandoned at its budget) are kept
+    with ``"t1": null``: the unfinished interval *is* the loss.
+    """
+    path = pathlib.Path(path)
+    records = [
+        {
+            "kind": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "t0": span.start_time,
+            "t1": span.end_time,
+            "status": span.status,
+            "attrs": span.attrs,
+        }
+        for span in tracer.spans
+    ] + [
+        {
+            "kind": "event",
+            "id": event.event_id,
+            "parent": event.parent_id,
+            "name": event.name,
+            "t": event.time,
+            "attrs": event.attrs,
+        }
+        for event in tracer.events
+    ]
+    records.sort(key=lambda record: record["id"])
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
 
 
 def export_perf_dataset(results: PerfResults, path: str | pathlib.Path) -> int:

@@ -1,0 +1,239 @@
+"""Unit tests for the observability layer: tracer, metrics, breakdowns."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    load_trace,
+    phase_breakdown,
+    publication_breakdown,
+    records_from_tracer,
+    walk_share,
+)
+from repro.simnet.network import NetworkStats
+from repro.tools.export import export_trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    t = Tracer()
+    t.bind_clock(clock)
+    return t
+
+
+class TestSpans:
+    def test_span_records_interval(self, tracer, clock):
+        with tracer.span("op") as span:
+            clock.now = 2.5
+        assert span.start_time == 0.0
+        assert span.end_time == 2.5
+        assert span.duration == 2.5
+        assert span.status == "ok"
+
+    def test_nesting_follows_context(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert tracer.children_of(outer) == [inner]
+
+    def test_start_span_parents_without_entering(self, tracer):
+        with tracer.span("outer") as outer:
+            detached = tracer.start_span("rpc")
+            # context still points at outer, not the detached span
+            sibling = tracer.start_span("rpc")
+        assert detached.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert detached.end_time is None  # open until ended explicitly
+        detached.end()
+        assert detached.end_time is not None
+
+    def test_exception_marks_error_status(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.status == "error"
+        assert span.attrs["error"] == "ValueError"
+
+    def test_end_is_idempotent(self, tracer, clock):
+        span = tracer.start_span("once")
+        clock.now = 1.0
+        span.end()
+        clock.now = 9.0
+        span.end(status="error")
+        assert span.end_time == 1.0
+        assert span.status == "ok"
+
+    def test_out_of_order_close_keeps_parentage(self, tracer):
+        """Interleaved processes close spans out of stack order."""
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.__exit__(None, None, None)  # a closes while b is still open
+        child = tracer.start_span("child")
+        assert child.parent_id == b.span_id
+        b.__exit__(None, None, None)
+
+    def test_events_parent_to_context(self, tracer):
+        with tracer.span("outer") as outer:
+            event = tracer.event("tick", round=3)
+        assert event.parent_id == outer.span_id
+        assert event.attrs == {"round": 3}
+
+    def test_ids_shared_monotonic_sequence(self, tracer):
+        span = tracer.start_span("s")
+        event = tracer.event("e")
+        later = tracer.start_span("t")
+        assert span.span_id < event.event_id < later.span_id
+
+    def test_name_is_a_legal_attribute_key(self, tracer):
+        span = tracer.start_span("ipns.publish", name="12D3Koo")
+        assert span.name == "ipns.publish"
+        assert span.attrs["name"] == "12D3Koo"
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", key="value") as span:
+            span.set_attrs(more=1)
+            NULL_TRACER.event("tick")
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.events == []
+
+    def test_real_tracer_enabled(self, tracer):
+        assert tracer.enabled is True
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dials")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_and_kind_mismatch(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_absorb_network_stats(self):
+        registry = MetricsRegistry()
+        stats = NetworkStats(dials_attempted=7, rpcs_sent=21)
+        registry.absorb_network_stats(stats)
+        assert registry.counter("simnet.dials_attempted").value == 7
+        assert registry.counter("simnet.rpcs_sent").value == 21
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestBreakdown:
+    def _publish_trace(self, tracer, clock):
+        with tracer.span("node.publish"):
+            with tracer.span("dht.walk"):
+                clock.now = 9.0
+            with tracer.span("dht.store_batch"):
+                clock.now = 10.0
+
+    def test_walk_share_from_live_tracer(self, tracer, clock):
+        self._publish_trace(tracer, clock)
+        records = records_from_tracer(tracer)
+        assert walk_share(records) == pytest.approx(0.9)
+
+    def test_phase_rows_sum_to_one(self, tracer, clock):
+        self._publish_trace(tracer, clock)
+        rows = publication_breakdown(records_from_tracer(tracer))
+        assert sum(row.share for row in rows) == pytest.approx(1.0)
+        by_phase = {row.phase: row for row in rows}
+        assert by_phase["dht.walk"].share == pytest.approx(0.9)
+        assert by_phase["dht.store_batch"].share == pytest.approx(0.1)
+
+    def test_walk_share_requires_finished_roots(self):
+        with pytest.raises(ValueError):
+            walk_share([])
+
+    def test_open_spans_excluded_from_phase_totals(self, tracer, clock):
+        with tracer.span("node.publish"):
+            tracer.start_span("dht.walk")  # lost, never closed
+            clock.now = 5.0
+        rows = phase_breakdown(
+            records_from_tracer(tracer), "node.publish", ["dht.walk"]
+        )
+        assert rows[0].total_s == 0.0
+
+    def test_export_then_load_roundtrip(self, tracer, clock, tmp_path):
+        self._publish_trace(tracer, clock)
+        tracer.event("perf.round", round=0)
+        open_span = tracer.start_span("simnet.rpc")
+        assert open_span.end_time is None
+        path = tmp_path / "trace.jsonl"
+        rows = export_trace(tracer, path)
+        assert rows == len(tracer.spans) + len(tracer.events)
+        loaded = load_trace(path)
+        assert walk_share(loaded) == pytest.approx(0.9)
+        raw = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["id"] for r in raw] == sorted(r["id"] for r in raw)
+        open_rows = [r for r in raw if r["kind"] == "span" and r["t1"] is None]
+        assert len(open_rows) == 1  # the lost RPC is kept, unfinished
+
+
+class TestObservability:
+    def test_bundle_defaults(self):
+        obs = Observability()
+        assert obs.tracer.enabled
+        assert obs.metrics.names() == []
+
+    def test_install_binds_clock_and_uninstall_resets(self):
+        from repro.simnet.network import SimNetwork
+        from repro.simnet.sim import Simulator
+        from repro.utils.rng import rng_from_seed
+
+        sim = Simulator()
+        net = SimNetwork(sim, rng_from_seed(5))
+        assert net.tracer is NULL_TRACER
+        obs = Observability()
+        net.install_observability(obs)
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert net.tracer is obs.tracer
+        assert obs.tracer.now() == 3.0
+        net.install_observability(None)
+        assert net.tracer is NULL_TRACER

@@ -5,18 +5,30 @@ datasets; we publish seeds). These tests run entire experiments twice
 and require bit-identical outcomes.
 """
 
+import hashlib
+
 from repro.experiments.gateway_exp import (
     GatewayExperimentConfig,
     run_gateway_experiment,
 )
 from repro.experiments.perf import PerfConfig, run_perf_experiment
 from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.obs import Observability
+from repro.tools.export import export_trace
 from repro.utils.rng import derive_rng
 from repro.workloads.gateway_trace import GatewayTraceConfig
 from repro.workloads.population import PopulationConfig, generate_population
 
+#: sha256 of the exported JSONL trace of ``_perf_run(11, traced)``. If
+#: this changes, either the instrumentation or the event schedule moved
+#: — deliberate changes must update the digest (and note it in
+#: EXPERIMENTS.md); accidental ones are regressions.
+GOLDEN_TRACE_SHA256 = (
+    "ae58ed763aa477a0733e6b6c703cd31fa2a1d2342c5436cccd020f63027f8dd2"
+)
 
-def _perf_run(seed: int):
+
+def _perf_run(seed: int, obs: Observability | None = None):
     population = generate_population(
         PopulationConfig(n_peers=250), derive_rng(seed, "det-pop")
     )
@@ -28,6 +40,7 @@ def _perf_run(seed: int):
         scenario,
         PerfConfig(rounds=2, seed=seed,
                    regions=("eu_central_1", "us_west_1")),
+        obs=obs,
     )
     return [
         (str(r.cid), round(r.total_duration, 9))
@@ -38,6 +51,15 @@ def _perf_run(seed: int):
     ]
 
 
+def _traced_perf_digest(seed: int, tmp_path) -> tuple[str, tuple]:
+    obs = Observability()
+    receipts = _perf_run(seed, obs)
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    path = tmp_path / f"trace-{seed}.jsonl"
+    export_trace(obs.tracer, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest(), receipts
+
+
 def test_perf_experiment_bit_identical():
     assert _perf_run(11) == _perf_run(11)
 
@@ -46,6 +68,27 @@ def test_perf_experiment_seed_sensitive():
     pubs_a, _ = _perf_run(11)
     pubs_b, _ = _perf_run(12)
     assert pubs_a != pubs_b
+
+
+def test_tracing_does_not_change_results():
+    """The tracer only reads the clock: a traced run's receipts are
+    bit-identical to the untraced run's."""
+    assert _perf_run(11, Observability()) == _perf_run(11)
+
+
+def test_golden_trace_is_deterministic(tmp_path):
+    """Two traced runs export byte-identical trace streams, pinned to a
+    committed digest (the golden trace)."""
+    digest_a, receipts_a = _traced_perf_digest(11, tmp_path / "a")
+    digest_b, receipts_b = _traced_perf_digest(11, tmp_path / "b")
+    assert digest_a == digest_b
+    assert receipts_a == receipts_b
+    assert digest_a == GOLDEN_TRACE_SHA256
+
+
+def test_golden_trace_seed_sensitive(tmp_path):
+    digest, _ = _traced_perf_digest(12, tmp_path)
+    assert digest != GOLDEN_TRACE_SHA256
 
 
 def test_gateway_experiment_bit_identical():

@@ -1,6 +1,7 @@
 """Cross-module property tests (hypothesis) on system invariants."""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.blockstore.block import Block
@@ -199,6 +200,98 @@ def test_retry_attempt_budget_never_exceeded(policy, failures, seed):
         assert result == "exhausted"
     elif policy.deadline_s is None:
         assert result == "ok"
+
+
+def _brute_force_percentile(values, q):
+    """Independent linear-interpolation reference (numpy's default)."""
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q / 100.0 * (len(ordered) - 1)
+    below = int(position)
+    if below == len(ordered) - 1:
+        return ordered[-1]
+    weight = position - below
+    return ordered[below] + (ordered[below + 1] - ordered[below]) * weight
+
+
+@settings(max_examples=60)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=60,
+    ),
+    q=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_percentile_matches_brute_force(values, q):
+    """utils.stats.percentile agrees with an independently written
+    reference, stays inside [min, max], and is permutation-invariant."""
+    from repro.utils.stats import percentile, percentiles
+
+    got = percentile(values, q)
+    # tolerance scales with magnitude: the symmetric lerp
+    # a*(1-f) + b*f can land an ulp outside [a, b]
+    eps = 1e-9 + 4e-15 * max(abs(v) for v in values)
+    assert got == pytest.approx(
+        _brute_force_percentile(values, q), rel=4e-15, abs=1e-6
+    )
+    assert min(values) - eps <= got <= max(values) + eps
+    assert percentile(list(reversed(values)), q) == pytest.approx(got)
+    assert percentiles(values, [q]) == [got]
+
+
+@settings(max_examples=60)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40,
+    ),
+    q_lo=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    q_hi=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_percentile_monotone_in_q(values, q_lo, q_hi):
+    from repro.utils.stats import percentile
+
+    if q_lo > q_hi:
+        q_lo, q_hi = q_hi, q_lo
+    assert percentile(values, q_lo) <= percentile(values, q_hi) + 1e-9
+
+
+dht_keys = st.binary(min_size=32, max_size=32)
+
+
+@settings(max_examples=80)
+@given(a=dht_keys, b=dht_keys, c=dht_keys)
+def test_xor_metric_axioms(a, b, c):
+    """XOR distance is a metric: identity, symmetry, and the (strong)
+    triangle inequality d(a,c) <= d(a,b) ^ d(b,c) <= d(a,b) + d(b,c)."""
+    d_ab = xor_distance(a, b)
+    d_bc = xor_distance(b, c)
+    d_ac = xor_distance(a, c)
+    assert xor_distance(a, a) == 0
+    assert (d_ab == 0) == (a == b)
+    assert d_ab == xor_distance(b, a)
+    assert d_ac == d_ab ^ d_bc  # XOR geometry is exactly associative
+    assert d_ac <= d_ab + d_bc
+
+
+@settings(max_examples=80)
+@given(a=dht_keys, b=dht_keys)
+def test_common_prefix_bounds_distance(a, b):
+    """Sharing cpl leading bits pins the distance into one bucket:
+    2^(255-cpl) <= d < 2^(256-cpl) — monotonicity of bucket order."""
+    from repro.dht.keyspace import KEY_BITS, common_prefix_length
+
+    cpl = common_prefix_length(a, b)
+    distance = xor_distance(a, b)
+    assert 0 <= cpl <= KEY_BITS
+    if a == b:
+        assert cpl == KEY_BITS
+    else:
+        assert distance < 2 ** (KEY_BITS - cpl)
+        assert distance >= 2 ** (KEY_BITS - cpl - 1)
 
 
 @settings(max_examples=15)

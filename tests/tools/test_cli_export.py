@@ -121,6 +121,51 @@ class TestCli:
         assert "Fig 4a" in output
         assert out.exists()
 
+    def test_chaos_command(self, capsys, tmp_path):
+        levels = tmp_path / "levels.jsonl"
+        assert main([
+            "chaos", "--peers", "80", "--intensities", "0.1",
+            "--retrievals", "2", "--export", str(levels),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Chaos sweep" in output
+        lines = levels.read_text().splitlines()
+        assert len(lines) == 2  # one baseline + one retry level
+        assert {json.loads(line)["with_retries"] for line in lines} == {
+            True, False,
+        }
+
+    def test_trace_command(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--peers", "150", "--rounds", "1",
+            "--export", str(trace),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Publication phases" in output
+        assert "Retrieval phases" in output
+        assert "DHT walk share" in output
+        lines = trace.read_text().splitlines()
+        assert len(lines) > 0
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert kinds == {"span", "event"}
+
+    def test_perf_trace_flag_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "perf-trace.jsonl"
+        assert main([
+            "perf", "--peers", "150", "--rounds", "1",
+            "--trace", str(trace),
+        ]) == 0
+        assert "trace records" in capsys.readouterr().out
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        # the span taxonomy's load-bearing names all appear
+        assert {"node.publish", "node.retrieve", "dht.walk", "dht.walk.hop",
+                "dht.store_batch", "simnet.dial", "simnet.rpc",
+                "retrieve.fetch", "perf.round"} <= names
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
