@@ -14,10 +14,30 @@ from conftest import save_report
 
 from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
 from repro.experiments.report import check_shape, render_table
+from repro.resilience import ResilienceConfig
 
 CHAOS_PEERS = 300
 CHAOS_RETRIEVALS = 12
 INTENSITIES = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+def test_chaos_smoke():
+    """Fast end-to-end pass for CI: one small faulted level with every
+    resilience feature on must still retrieve successfully."""
+    config = ChaosConfig(
+        n_peers=80,
+        intensities=(0.15,),
+        retrievals_per_level=2,
+        resilience=ResilienceConfig(
+            breakers=True, hedging=True, adaptive_timeouts=True,
+            fallbacks=True,
+        ),
+    )
+    results = run_chaos_experiment(config)
+    level = results.levels[0]
+    assert level.attempted == 2
+    assert level.succeeded >= 1
+    assert level.faults_injected > 0
 
 
 def test_chaos_sweep(benchmark):

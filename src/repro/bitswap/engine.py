@@ -124,7 +124,8 @@ class BitswapEngine:
                 if future.failed or result.done:
                     return
                 response = future.result()
-                if cid in response.have:
+                # A malformed (fault-injected) reply is no answer.
+                if response is not None and cid in response.have:
                     result.resolve(peer_id)
 
             return callback
@@ -166,7 +167,8 @@ class BitswapEngine:
             self.host, peer_id, WANT_BLOCK, request, request_size=request.wire_size()
         )
         self.wantlist.remove(cid)
-        block = response.block
+        # A malformed (fault-injected) reply carries no body at all.
+        block = response.block if response is not None else None
         if block is None:
             raise RetrievalError(f"{peer_id} no longer has {cid}")
         if block.cid != cid or not block.verify():

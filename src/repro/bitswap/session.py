@@ -38,6 +38,7 @@ class BitswapSession:
         retry_policy: RetryPolicy | None = None,
         rng: random.Random | None = None,
         silence_timeout_s: float = 8.0,
+        resilience=None,
     ) -> None:
         if not providers:
             raise RetrievalError("session needs at least one provider")
@@ -46,8 +47,30 @@ class BitswapSession:
         self.retry_policy = retry_policy
         self.rng = rng
         self.silence_timeout_s = silence_timeout_s
+        #: optional :class:`repro.resilience.Resilience`; when set with
+        #: breakers on, failed providers feed the breaker and providers
+        #: with open breakers are tried last. Block durations are *not*
+        #: fed to the RTT estimator (they are bandwidth-bound, which
+        #: would pollute the control-plane RTT estimate).
+        self.resilience = resilience
         self.blocks_fetched = 0
         self.bytes_fetched = 0
+
+    def _silence_timeout(self, peer_id: PeerId) -> float:
+        res = self.resilience
+        if res is None or not res.adaptive_on:
+            return self.silence_timeout_s
+        remote = self.engine.network.host(peer_id)
+        region = remote.region if remote is not None else None
+        return res.rpc_deadline_s(region, self.silence_timeout_s)
+
+    def _ordered_providers(self) -> list[PeerId]:
+        """Session providers, open-breaker peers pushed to the back."""
+        providers = list(self.providers)
+        res = self.resilience
+        if res is not None and res.breakers_on and len(providers) > 1:
+            providers.sort(key=lambda peer_id: res.is_open(peer_id))
+        return providers
 
     def _fetch_from(self, cid: Cid, peer_id: PeerId) -> Generator:
         """Fetch one block from one provider, re-wanting after silence."""
@@ -59,7 +82,9 @@ class BitswapSession:
 
         def attempt(_attempt: int) -> Future:
             process = self.engine.sim.spawn(self.engine.fetch_block(cid, peer_id))
-            return with_timeout(self.engine.sim, process.future, self.silence_timeout_s)
+            return with_timeout(
+                self.engine.sim, process.future, self._silence_timeout(peer_id)
+            )
 
         def on_retry(_attempt: int, error: BaseException) -> None:
             network.stats.retries_attempted += 1
@@ -75,15 +100,20 @@ class BitswapSession:
         if self.engine.blockstore.has(cid):
             return self.engine.blockstore.get(cid)
         last_error: Exception | None = None
-        for peer_id in list(self.providers):
+        res = self.resilience
+        for peer_id in self._ordered_providers():
             try:
                 result = yield from self._fetch_from(cid, peer_id)
             except Exception as exc:  # noqa: BLE001 - try next provider
                 last_error = exc
+                if res is not None:
+                    res.record_failure(peer_id)
                 # Peers that fail stop being preferred for this session.
                 if peer_id in self.providers and len(self.providers) > 1:
                     self.providers.remove(peer_id)
                 continue
+            if res is not None:
+                res.record_success(peer_id)
             self.blocks_fetched += 1
             self.bytes_fetched += result.block.size
             return result.block

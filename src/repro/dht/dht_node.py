@@ -34,6 +34,7 @@ from repro.errors import PublishError
 from repro.multiformats.cid import Cid
 from repro.multiformats.multiaddr import Multiaddr
 from repro.multiformats.peerid import PeerId
+from repro.resilience import DISABLED_RESILIENCE_CONFIG, Resilience
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.sim import Future, Simulator, TimeoutError_, all_of, with_timeout
 from repro.utils.retry import retry
@@ -54,6 +55,7 @@ class DhtNode:
         rng: random.Random,
         server: bool = True,
         lookup_config: LookupConfig | None = None,
+        resilience: Resilience | None = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -61,9 +63,16 @@ class DhtNode:
         self.rng = rng
         self.server = server
         self.config = lookup_config if lookup_config is not None else LookupConfig()
+        self.resilience = (
+            resilience
+            if resilience is not None
+            else Resilience(DISABLED_RESILIENCE_CONFIG, sim, network)
+        )
         self.routing_table = RoutingTable(
             host.peer_id, failure_threshold=self.config.failure_threshold
         )
+        if self.resilience.breakers_on:
+            self.routing_table.breakers = self.resilience.breakers
         self.provider_store = ProviderStore()
         self.peer_record_store = PeerRecordStore()
         #: addresses self-reported by providers in ADD_PROVIDER, kept
@@ -123,7 +132,26 @@ class DhtNode:
             self._provider_addrs[request.record.provider] = PeerRecord(
                 request.record.provider, tuple(request.addresses), self.sim.now
             )
+            self._prune_provider_addrs()
         return True, 16
+
+    def _prune_provider_addrs(self) -> None:
+        """Drop provider addresses past their TTL.
+
+        GET_PROVIDERS already filters expired entries at read time, but
+        without this sweep the cache grows without bound on long-lived
+        record holders (every provider that ever announced stays in the
+        dict forever). Pruning on insert keeps the cache proportional to
+        the number of providers active within one TTL.
+        """
+        now = self.sim.now
+        expired = [
+            peer_id
+            for peer_id, cached in self._provider_addrs.items()
+            if now - cached.published_at >= PROVIDER_ADDR_TTL_S
+        ]
+        for peer_id in expired:
+            del self._provider_addrs[peer_id]
 
     def _on_get_providers(self, sender: PeerId, request: rpc.GetProvidersRequest):
         self._learn_about(sender)
@@ -218,6 +246,14 @@ class DhtNode:
             future = self.sim.spawn(
                 retry(self.sim, self.rng, policy, attempt, on_retry)
             ).future
+        if self.resilience.breakers_on:
+            def feed_breaker(settled: Future) -> None:
+                if settled.failed:
+                    self.resilience.record_failure(peer_id)
+                else:
+                    self.resilience.record_success(peer_id)
+
+            future.add_callback(feed_breaker)
         if span is not None:
             def finish(settled: Future) -> None:
                 if settled.failed:

@@ -20,7 +20,7 @@ on a network where 45.5 % of advertised peers are unreachable.
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.dht import rpc
@@ -71,6 +71,12 @@ class LookupStats:
     peers_discovered: int = 0
     hops: int = 0
     exhausted: bool = False
+    #: candidates refused because their circuit breaker was open.
+    skipped_breaker: int = 0
+    #: hedged duplicates fired / races the hedge won / races it lost.
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
 
 
 @dataclass
@@ -78,7 +84,9 @@ class _Candidate:
     peer_id: PeerId
     distance: int
     depth: int
-    state: str = "new"  # new | inflight | ok | failed
+    # new | inflight | ok | failed | skipped (breaker open) |
+    # cancelled (lost a hedge race; not a failure, not a success)
+    state: str = "new"
 
 
 class _Walk:
@@ -87,6 +95,7 @@ class _Walk:
     def __init__(self, node: "DhtNode", target_key: bytes, kind: str = "closest") -> None:
         self.node = node
         self.config = node.config
+        self.res = node.resilience
         self.kind = kind
         self.target_key = target_key
         self.target_int = int.from_bytes(target_key, "big")
@@ -95,6 +104,17 @@ class _Walk:
         self.inflight: dict[int, tuple[PeerId, Future]] = {}
         self._next_tag = 0
         self._dialing: set[PeerId] = set()
+        # Hedging state (all dormant unless res.hedging_on): tags whose
+        # hedge timer fired and await a duplicate launch, extra launch
+        # budget those grants, original<->hedge tag pairs, which tags
+        # are hedge copies, and a future that wakes the walk loop when
+        # a timer fires while it is suspended on in-flight RPCs.
+        self._pending_hedges: list[int] = []
+        self._hedge_slots = 0
+        self._partner: dict[int, int] = {}
+        self._hedge_tags: set[int] = set()
+        self._wake: Future | None = None
+        self._finished = False
         # Seed with a full bucket's worth of candidates even when the
         # walk only needs the k closest (a k=1 walk seeded with one
         # possibly-dead peer would abort instantly).
@@ -110,13 +130,31 @@ class _Walk:
         self.stats.peers_discovered += 1
 
     def _sorted_live(self) -> list[_Candidate]:
-        live = [c for c in self.candidates.values() if c.state != "failed"]
+        live = [
+            c for c in self.candidates.values()
+            if c.state in ("new", "inflight", "ok")
+        ]
         live.sort(key=lambda c: c.distance)
         return live
 
-    def _launch(self, candidate: _Candidate, method: str, request: Any, size: int) -> None:
+    def _launch(
+        self,
+        candidate: _Candidate,
+        method: str,
+        request: Any,
+        size: int,
+        as_hedge: bool = False,
+    ) -> None:
         candidate.state = "inflight"
         network = self.node.network
+        res = self.res
+        sim = self.node.sim
+        tag = self._next_tag
+        self._next_tag += 1
+        region = None
+        if res.adaptive_on or res.hedging_on:
+            remote = network.host(candidate.peer_id)
+            region = remote.region if remote is not None else None
         hop_span = None
         if network.tracer.enabled:
             hop_span = network.tracer.start_span(
@@ -126,14 +164,26 @@ class _Walk:
 
         def attempt(attempt_index: int) -> Future:
             self.stats.rpcs_sent += 1
-            return with_timeout(
-                self.node.sim,
+            timeout_s = self.config.rpc_timeout_s
+            if res.adaptive_on:
+                timeout_s = res.rpc_deadline_s(region, timeout_s)
+            wrapped = with_timeout(
+                sim,
                 network.rpc(
                     self.node.host, candidate.peer_id, method, request,
                     request_size=size,
                 ),
-                self.config.rpc_timeout_s,
+                timeout_s,
             )
+            if res.rtt is not None:
+                started = sim.now
+
+                def observe(settled: Future) -> None:
+                    if not settled.failed:
+                        res.observe_rtt(region, sim.now - started)
+
+                wrapped.add_callback(observe)
+            return wrapped
 
         policy = self.config.rpc_retry
         if policy.enabled:
@@ -143,13 +193,41 @@ class _Walk:
                     network.stats.rpcs_timed_out += 1
 
             future = self.node.sim.spawn(
-                retry(self.node.sim, self.node.rng, policy, attempt, on_retry)
+                retry(
+                    self.node.sim, self.node.rng, policy, attempt, on_retry,
+                    # Adaptive mode keeps the whole retried hop inside
+                    # the fixed budget one un-retried hop used to get.
+                    deadline_s=(
+                        self.config.rpc_timeout_s if res.adaptive_on else None
+                    ),
+                )
             ).future
         else:
             future = attempt(1)
         outcome: Future = Future()
-        tag = self._next_tag
-        self._next_tag += 1
+
+        if as_hedge:
+            original = self._pending_hedges.pop(0)
+            self._partner[original] = tag
+            self._partner[tag] = original
+            self._hedge_tags.add(tag)
+            self.stats.hedges_launched += 1
+            res.count_hedge_launched()
+        elif res.hedging_on:
+            delay = res.hedge_delay_s(region)
+
+            def maybe_hedge() -> None:
+                # Only hedge queries still unanswered after the delay.
+                if self._finished or tag not in self.inflight:
+                    return
+                if tag in self._partner or tag in self._pending_hedges:
+                    return
+                self._hedge_slots += 1
+                self._pending_hedges.append(tag)
+                if self._wake is not None:
+                    self._wake.resolve(None)
+
+            sim.schedule(delay, maybe_hedge)
 
         def settle(inner: Future) -> None:
             if hop_span is not None:
@@ -178,6 +256,8 @@ class _Walk:
                 break
             if candidate.state != "new" or candidate.peer_id in self._dialing:
                 continue
+            if self.res.breakers_on and self.res.is_open(candidate.peer_id):
+                continue
             if self.node.host.is_connected(candidate.peer_id):
                 continue
             self._dialing.add(candidate.peer_id)
@@ -189,6 +269,7 @@ class _Walk:
                 if future.failed and target is not None and target.state == "new":
                     target.state = "failed"
                     self.node.routing_table.record_failure(peer_id)
+                    self.res.record_failure(peer_id)
 
             self.node.network.dial(self.node.host, candidate.peer_id).add_callback(
                 on_dialed
@@ -209,11 +290,15 @@ class _Walk:
         """
         tracer = self.node.network.tracer
         if not tracer.enabled:
-            return (yield from self._run(make_request, handle_response, want_closest))
+            try:
+                return (yield from self._run(make_request, handle_response, want_closest))
+            finally:
+                self._finished = True
         with tracer.span("dht.walk", kind=self.kind) as span:
             try:
                 return (yield from self._run(make_request, handle_response, want_closest))
             finally:
+                self._finished = True
                 span.set_attrs(
                     rpcs=self.stats.rpcs_sent, ok=self.stats.rpcs_ok,
                     failed=self.stats.rpcs_failed, hops=self.stats.hops,
@@ -227,6 +312,7 @@ class _Walk:
         want_closest: bool,
     ) -> Generator:
         config = self.config
+        res = self.res
         while True:
             live = self._sorted_live()
             if want_closest:
@@ -237,34 +323,88 @@ class _Walk:
             budget_left = self.stats.rpcs_sent < config.max_rpcs
             if budget_left:
                 for candidate in live:
-                    if len(self.inflight) >= config.alpha:
+                    if len(self.inflight) >= config.alpha + self._hedge_slots:
                         break
-                    if candidate.state == "new":
-                        method, request, size = make_request()
-                        self._launch(candidate, method, request, size)
+                    if candidate.state != "new":
+                        continue
+                    if res.breakers_on and not res.allow(candidate.peer_id):
+                        candidate.state = "skipped"
+                        self.stats.skipped_breaker += 1
+                        continue
+                    method, request, size = make_request()
+                    self._launch(
+                        candidate, method, request, size,
+                        as_hedge=bool(self._pending_hedges),
+                    )
                 self._dial_ahead(live)
             if not self.inflight:
                 # Exhausted: nothing in flight and nothing new to ask.
                 self.stats.exhausted = True
                 done = [c for c in self._sorted_live() if c.state == "ok"]
                 return [c.peer_id for c in done[: config.k]]
-            tag_and_future = yield any_of([f for _, f in self.inflight.values()])
-            _, (tag, inner) = tag_and_future
+            waiters = [f for _, f in self.inflight.values()]
+            if res.hedging_on:
+                # A hedge timer firing must wake the suspended loop so
+                # the duplicate launches immediately, not on the next
+                # RPC settlement.
+                wake = Future()
+                self._wake = wake
+                waiters.append(wake)
+            winner = yield any_of(waiters)
+            self._wake = None
+            _, payload = winner
+            if payload is None:
+                continue  # a hedge timer fired; go launch the duplicate
+            tag, inner = payload
             peer_id, _ = self.inflight.pop(tag)
             candidate = self.candidates[peer_id]
+            if tag in self._pending_hedges:
+                # Settled before its duplicate launched: hedge is moot.
+                self._pending_hedges.remove(tag)
+                self._hedge_slots -= 1
+            partner = self._partner.pop(tag, None)
+            if partner is not None:
+                self._partner.pop(partner, None)
+                self._hedge_slots -= 1
+                if not inner.failed and partner in self.inflight:
+                    # First success of a hedged pair: cancel the loser.
+                    # Its RPC keeps running (cannot be recalled) but its
+                    # outcome is ignored — and never charged as a
+                    # failure against routing table or breaker.
+                    loser_peer, _ = self.inflight.pop(partner)
+                    loser = self.candidates[loser_peer]
+                    if loser.state == "inflight":
+                        loser.state = "cancelled"
+                    if tag in self._hedge_tags:
+                        self.stats.hedge_wins += 1
+                        res.count_hedge_win()
+                    else:
+                        self.stats.hedge_losses += 1
+                        res.count_hedge_loss()
+            self._hedge_tags.discard(tag)
             if inner.failed:
                 candidate.state = "failed"
                 self.stats.rpcs_failed += 1
                 if isinstance(inner.exception(), TimeoutError_):
                     self.node.network.stats.rpcs_timed_out += 1
                 self.node.routing_table.record_failure(peer_id)
+                res.record_failure(peer_id)
+                continue
+            response = inner.result()
+            if response is None:
+                # A malformed (fault-injected) reply: the peer answered
+                # garbage, which is a failure, not a success.
+                candidate.state = "failed"
+                self.stats.rpcs_failed += 1
+                self.node.routing_table.record_failure(peer_id)
+                res.record_failure(peer_id)
                 continue
             candidate.state = "ok"
             self.stats.rpcs_ok += 1
             self.stats.hops = max(self.stats.hops, candidate.depth + 1)
             self.node.routing_table.add(peer_id)
             self.node.routing_table.record_success(peer_id)
-            response = inner.result()
+            res.record_success(peer_id)
             for closer in getattr(response, "closer_peers", ()):
                 self._add_candidate(closer, candidate.depth + 1)
             if handle_response(peer_id, response):

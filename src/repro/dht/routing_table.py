@@ -60,6 +60,12 @@ class RoutingTable:
         self._failures: dict[PeerId, int] = {}
         #: peers evicted by the failure score (degradation telemetry)
         self.evictions = 0
+        #: optional circuit-breaker registry (anything with
+        #: ``is_open(peer_id)``); when set, :meth:`closest` filters out
+        #: peers whose breaker is currently open. Entries are *not*
+        #: evicted — an open breaker is a temporary verdict, eviction
+        #: is permanent.
+        self.breakers = None
 
     def __len__(self) -> int:
         return self._size
@@ -137,6 +143,12 @@ class RoutingTable:
             for bucket in self._buckets
             for entry in bucket.values()
         )
+        if self.breakers is not None:
+            entries = (
+                (distance, peer_id)
+                for distance, peer_id in entries
+                if not self.breakers.is_open(peer_id)
+            )
         return [peer_id for _, peer_id in heapq.nsmallest(count, entries)]
 
     def peers(self) -> list[PeerId]:

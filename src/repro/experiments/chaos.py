@@ -28,6 +28,7 @@ from repro.dht.lookup import LookupConfig
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.node.config import NodeConfig
 from repro.obs import Observability
+from repro.resilience import ResilienceConfig
 from repro.simnet.network import NetworkStats
 from repro.simnet.faults import FaultInjector, FaultPlan
 from repro.simnet.sim import with_timeout
@@ -85,6 +86,10 @@ class ChaosConfig:
     #: reported :class:`NetworkStats` are coherent (the invariant tests
     #: set this; 0 reports the instant the sweep ends, as always).
     settle_s: float = 0.0
+    #: Optional resilience feature flags applied to every node (on top
+    #: of whatever retry stack ``with_retries`` selects); ``None``
+    #: leaves the stock disabled-by-default config in place.
+    resilience: ResilienceConfig | None = None
 
 
 @dataclass
@@ -143,6 +148,11 @@ def _run_level(
         derive_rng(config.seed, "chaos-pop"),
     )
     node_config = resilient_node_config() if config.with_retries else None
+    if config.resilience is not None:
+        node_config = dataclasses.replace(
+            node_config if node_config is not None else NodeConfig(),
+            resilience=config.resilience,
+        )
     scenario = build_scenario(
         population,
         ScenarioConfig(seed=config.seed, with_churn=False, node_config=node_config),

@@ -1,0 +1,317 @@
+"""Chaos recovery: the resilience layer under churn x fault intensity.
+
+The chaos sweep (:mod:`repro.experiments.chaos`) showed blind
+retry/backoff recovering retrieval success from injected RPC loss in a
+*static* world. This experiment turns both screws the paper says the
+real network turns — churn (Figure 8: median sessions under 10
+minutes) *and* a mixed fault diet (loss + mid-RPC resets + malformed
+replies) — and compares two arms that both run the full retry stack:
+
+- **baseline** — retries only (``resilient_node_config``);
+- **resilient** — retries plus the :mod:`repro.resilience` layer:
+  circuit breakers, adaptive deadlines, hedged requests and
+  degraded-mode fallbacks.
+
+The delta between the arms isolates what *learning about failures*
+buys beyond blindly paying for them: breakers stop re-charging known
+timeouts, adaptive deadlines cut the 10 s fixed walk timeout down to
+multiples of observed RTTs, and hedges cover for lost RPCs without
+waiting out the timeout at all.
+
+Protocol per intensity level mirrors the chaos sweep — publish in calm
+weather, install faults, retrieve repeatedly with connections/caches
+dropped between attempts — except the backdrop churns throughout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.experiments.chaos import (
+    GETTER_REGION,
+    PUBLISHER_REGION,
+    _drain_unpinned,
+    resilient_node_config,
+)
+from repro.blockstore.memory import MemoryBlockstore
+from repro.dht.keyspace import key_for_cid, key_for_peer, xor_distance
+from repro.experiments.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.merkledag.builder import DagBuilder
+from repro.node.config import NodeConfig
+from repro.obs import Observability
+from repro.resilience import BreakerConfig, ResilienceConfig
+from repro.simnet.faults import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.simnet.network import NetworkStats
+from repro.simnet.sim import with_timeout
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentiles
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+def full_resilience_config() -> ResilienceConfig:
+    """Every resilience feature on, tuned for incident weather.
+
+    The breaker trips after two consecutive failures (the sweep's
+    retrievals are minutes apart, so a 90 s cooldown spans roughly one
+    retrieval — long enough to skip a dead peer for the rest of an
+    attempt, short enough to re-probe within the level).
+    """
+    return ResilienceConfig(
+        breakers=True,
+        hedging=True,
+        adaptive_timeouts=True,
+        fallbacks=True,
+        breaker=BreakerConfig(failure_threshold=2, cooldown_s=90.0),
+    )
+
+
+def recovery_node_config() -> NodeConfig:
+    """The resilient arm: full retry stack + full resilience layer."""
+    return dataclasses.replace(
+        resilient_node_config(), resilience=full_resilience_config()
+    )
+
+
+def mixed_fault_plan(intensity: float) -> FaultPlan:
+    """A fault diet at overall probability ``intensity`` per RPC.
+
+    60 % of the budget is silent loss, 20 % mid-RPC resets, 20 %
+    malformed replies — covering the distinct failure signatures the
+    resilience layer must handle (timeout, fast error, garbage that
+    must not count as success).
+    """
+    if intensity <= 0.0:
+        return FaultPlan.of()
+    return FaultPlan.of(
+        FaultRule(FaultKind.LOSS, 0.6 * intensity),
+        FaultRule(FaultKind.RESET, 0.2 * intensity),
+        FaultRule(FaultKind.MALFORMED, 0.2 * intensity),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosRecoveryConfig:
+    seed: int = 42
+    n_peers: int = 300
+    #: overall fault probabilities to sweep (see mixed_fault_plan).
+    intensities: tuple[float, ...] = (0.0, 0.2, 0.3)
+    retrievals_per_level: int = 10
+    object_size: int = 64 * 1024
+    #: Per level, extra retrievals of content that is *cached but not
+    #: announced*: copies live on the peers closest to the key, but no
+    #: provider record exists (the paper's re-provide problem — Section
+    #: 6.4 measures providing as the dominant cost, and nodes that skip
+    #: it leave their caches invisible to the DHT). Only the
+    #: degraded-mode broadcast can find these; the baseline arm fails.
+    unannounced_retrievals: int = 3
+    #: how many near-key dialable peers cache the unannounced object.
+    unannounced_replicas: int = 8
+    #: False runs the baseline arm (retries only).
+    with_resilience: bool = True
+    #: churn the backdrop (the point of this experiment; off only for
+    #: debugging against the static chaos sweep).
+    with_churn: bool = True
+    retrieval_budget_s: float = 180.0
+
+
+@dataclass
+class RecoveryLevelResult:
+    """One intensity level of one arm, with resilience telemetry."""
+
+    intensity: float
+    with_resilience: bool
+    attempted: int
+    #: successful *announced-content* retrieval latencies; the
+    #: percentiles compare like-for-like across arms, so the
+    #: unannounced retrievals (which only one arm can win) stay out.
+    latencies: list[float] = field(default_factory=list)
+    #: outcomes of the cached-but-unannounced retrievals, reported
+    #: separately because only the fallback broadcast can succeed at
+    #: them (they count toward ``attempted``/``succeeded``).
+    unannounced_attempted: int = 0
+    unannounced_succeeded: int = 0
+    faults_injected: int = 0
+    faults_by_kind: dict = field(default_factory=dict)
+    retries_attempted: int = 0
+    rpcs_timed_out: int = 0
+    #: aggregated over the vantage nodes' ResilienceStats (zero in the
+    #: baseline arm by construction).
+    breaker_opened: int = 0
+    breaker_skips: int = 0
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    fallback_broadcasts: int = 0
+    fallback_hits: int = 0
+    adaptive_deadlines: int = 0
+    stats: NetworkStats | None = None
+
+    @property
+    def succeeded(self) -> int:
+        return len(self.latencies) + self.unannounced_succeeded
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    def latency_percentiles(self) -> list[float] | None:
+        """[p50, p90, p95] of successful announced retrievals, or
+        ``None``."""
+        if not self.latencies:
+            return None
+        return percentiles(self.latencies, [50, 90, 95])
+
+
+@dataclass
+class ChaosRecoveryResults:
+    config: ChaosRecoveryConfig
+    levels: list[RecoveryLevelResult] = field(default_factory=list)
+
+    def success_curve(self) -> list[tuple[float, float]]:
+        return [(level.intensity, level.success_rate) for level in self.levels]
+
+
+def _seed_unannounced(config: ChaosRecoveryConfig, scenario: Scenario):
+    """Plant an object in near-key caches with *no* provider record.
+
+    Builds a DAG nobody announces and copies its blocks into the caches
+    of the ``unannounced_replicas`` dialable backdrop peers closest to
+    the root's DHT key — exactly the peers a provider walk for that key
+    converges on. The walk finds no records (there are none), so only
+    the degraded-mode broadcast over the connections the walk opened
+    can discover the copies. Returns the root CID.
+    """
+    store = MemoryBlockstore()
+    payload = derive_rng(
+        config.seed, "chaos-recovery-unannounced"
+    ).randbytes(config.object_size)
+    root = DagBuilder(store).add_bytes(payload).root
+    target = key_for_cid(root)
+    dialable = [
+        node for node in scenario.backdrop if not node.host.nat_private
+    ]
+    dialable.sort(
+        key=lambda node: xor_distance(target, key_for_peer(node.host.peer_id))
+    )
+    for node in dialable[: config.unannounced_replicas]:
+        cache = scenario.engines[node.host.peer_id].blockstore
+        for cid in list(store.cids()):
+            cache.put(store.get(cid))
+    return root
+
+
+def _run_level(
+    config: ChaosRecoveryConfig,
+    intensity: float,
+    obs: Observability | None = None,
+) -> RecoveryLevelResult:
+    population = generate_population(
+        PopulationConfig(n_peers=config.n_peers),
+        derive_rng(config.seed, "chaos-recovery-pop"),
+    )
+    node_config = (
+        recovery_node_config() if config.with_resilience
+        else resilient_node_config()
+    )
+    scenario = build_scenario(
+        population,
+        ScenarioConfig(
+            seed=config.seed,
+            with_churn=config.with_churn,
+            node_config=node_config,
+        ),
+        vantage_regions=[PUBLISHER_REGION, GETTER_REGION],
+    )
+    sim, net = scenario.sim, scenario.net
+    if obs is not None:
+        net.install_observability(obs)
+        obs.tracer.event(
+            "chaos_recovery.level",
+            intensity=intensity,
+            with_resilience=config.with_resilience,
+        )
+    publisher = scenario.vantage[PUBLISHER_REGION]
+    getter = scenario.vantage[GETTER_REGION]
+    injector = FaultInjector(
+        mixed_fault_plan(intensity),
+        derive_rng(
+            config.seed, "chaos-recovery-faults", f"{intensity:g}",
+            "resilient" if config.with_resilience else "baseline",
+        ),
+    )
+    outcomes: list[float | None] = []
+    unannounced: list[bool] = []
+
+    def attempt_retrieval(target, record_unannounced: bool) -> Generator:
+        getter.disconnect_all()
+        getter.address_book.forget(publisher.peer_id)
+        _drain_unpinned(getter)
+        started = sim.now
+        process = sim.spawn(getter.retrieve(target))
+        try:
+            yield with_timeout(sim, process.future, config.retrieval_budget_s)
+        except Exception:  # noqa: BLE001 - a failed retrieval, count it
+            if record_unannounced:
+                unannounced.append(False)
+            else:
+                outcomes.append(None)
+        else:
+            if record_unannounced:
+                unannounced.append(True)
+            else:
+                outcomes.append(sim.now - started)
+
+    def driver() -> Generator:
+        for node in scenario.vantage.values():
+            yield from node.publish_peer_record()
+        payload = derive_rng(config.seed, "chaos-recovery-object").randbytes(
+            config.object_size
+        )
+        root = publisher.add_bytes(payload).root
+        yield from publisher.publish(root)
+        net.install_faults(injector)
+        for _ in range(config.retrievals_per_level):
+            yield from attempt_retrieval(root, record_unannounced=False)
+        if config.unannounced_retrievals > 0:
+            hidden = _seed_unannounced(config, scenario)
+            for _ in range(config.unannounced_retrievals):
+                yield from attempt_retrieval(hidden, record_unannounced=True)
+
+    sim.run_process(driver())
+
+    vantage_stats = [
+        node.resilience.stats for node in scenario.vantage.values()
+    ]
+    return RecoveryLevelResult(
+        intensity=intensity,
+        with_resilience=config.with_resilience,
+        attempted=len(outcomes) + len(unannounced),
+        latencies=[latency for latency in outcomes if latency is not None],
+        unannounced_attempted=len(unannounced),
+        unannounced_succeeded=sum(unannounced),
+        faults_injected=net.stats.faults_injected,
+        faults_by_kind=dict(injector.stats.by_kind),
+        retries_attempted=net.stats.retries_attempted,
+        rpcs_timed_out=net.stats.rpcs_timed_out,
+        breaker_opened=sum(s.breaker_opened for s in vantage_stats),
+        breaker_skips=sum(s.breaker_skips for s in vantage_stats),
+        hedges_launched=sum(s.hedges_launched for s in vantage_stats),
+        hedge_wins=sum(s.hedge_wins for s in vantage_stats),
+        fallback_broadcasts=sum(s.fallback_broadcasts for s in vantage_stats),
+        fallback_hits=sum(s.fallback_hits for s in vantage_stats),
+        adaptive_deadlines=sum(s.adaptive_deadlines for s in vantage_stats),
+        stats=dataclasses.replace(net.stats),
+    )
+
+
+def run_chaos_recovery_experiment(
+    config: ChaosRecoveryConfig | None = None,
+    obs: Observability | None = None,
+) -> ChaosRecoveryResults:
+    """Sweep the configured intensities; one fresh world per level."""
+    config = config if config is not None else ChaosRecoveryConfig()
+    results = ChaosRecoveryResults(config=config)
+    for intensity in config.intensities:
+        results.levels.append(_run_level(config, intensity, obs))
+    return results

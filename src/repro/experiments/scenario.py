@@ -22,8 +22,8 @@ from repro.dht.dht_node import DhtNode
 from repro.multiformats.peerid import PeerId
 from repro.node.config import NodeConfig
 from repro.node.host import IpfsNode
-from repro.simnet.churn import ALWAYS_ON, SessionProcess
-from repro.simnet.latency import AWS_REGION_MAP, PeerClass, Region
+from repro.simnet.churn import SessionProcess
+from repro.simnet.latency import AWS_REGION_MAP, PeerClass
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.transport import Transport
 from repro.simnet.sim import Simulator
@@ -68,6 +68,9 @@ class Scenario:
     net: SimNetwork
     population: Population
     backdrop: list[DhtNode]
+    #: each backdrop peer's Bitswap engine (keyed by PeerId) — lets
+    #: experiments seed content into caches without a provider record.
+    engines: dict[PeerId, BitswapEngine] = field(default_factory=dict)
     vantage: dict[str, IpfsNode] = field(default_factory=dict)
     bootstrap_ids: list[PeerId] = field(default_factory=list)
     spec_by_peer: dict[PeerId, PeerSpec] = field(default_factory=dict)
@@ -99,6 +102,7 @@ def build_scenario(
     ws_only = frozenset({Transport.WEBSOCKET})
 
     backdrop: list[DhtNode] = []
+    engines: dict[PeerId, BitswapEngine] = {}
     spec_by_peer: dict[PeerId, PeerSpec] = {}
     for spec in population.peers:
         # A small slice of peers is reachable over WebSocket only;
@@ -125,8 +129,9 @@ def build_scenario(
         )
         # Every real IPFS node speaks Bitswap; backdrop peers get an
         # engine over an empty store (they answer DONT_HAVE).
-        BitswapEngine(sim, net, host, MemoryBlockstore())
+        engine = BitswapEngine(sim, net, host, MemoryBlockstore())
         backdrop.append(node)
+        engines[spec.peer_id] = engine
         spec_by_peer[spec.peer_id] = spec
         if config.with_churn and spec.reachability == "churning":
             SessionProcess(
@@ -140,6 +145,7 @@ def build_scenario(
         net=net,
         population=population,
         backdrop=backdrop,
+        engines=engines,
         spec_by_peer=spec_by_peer,
     )
 

@@ -32,6 +32,9 @@ class BridgedResponse:
     tier: CacheTier
     latency: float
     size: int
+    #: served from a cache entry past its TTL because the upstream
+    #: revalidation failed (degraded mode; resilience fallbacks only).
+    degraded: bool = False
 
 
 class GatewayBridge:
@@ -40,6 +43,14 @@ class GatewayBridge:
     ``retry_policy`` re-attempts failed upstream retrievals with
     backoff before surfacing an error to the HTTP client (the ipfs.io
     bridge retries transient upstream failures rather than 502-ing).
+
+    With a ``cache_ttl_s``, nginx cache entries older than the TTL are
+    revalidated upstream; when the revalidation fails and
+    ``serve_stale`` is on (it defaults to the bridge node's resilience
+    ``fallbacks`` flag) the stale bytes are served with
+    ``degraded=True`` instead of surfacing the error — nginx's
+    ``proxy_cache_use_stale``. Without a TTL (the default) entries
+    never go stale and the path is byte-identical to the stock bridge.
     """
 
     def __init__(
@@ -47,10 +58,20 @@ class GatewayBridge:
         node: IpfsNode,
         cache_capacity_bytes: int,
         retry_policy: RetryPolicy | None = None,
+        cache_ttl_s: float | None = None,
+        serve_stale: bool | None = None,
     ) -> None:
         self.node = node
         self.web_cache = ObjectCache(cache_capacity_bytes)
         self.retry_policy = retry_policy
+        self.cache_ttl_s = cache_ttl_s
+        self.serve_stale = (
+            serve_stale if serve_stale is not None
+            else node.resilience.fallbacks_on
+        )
+        self._cached_at: dict[Cid, float] = {}
+        #: degraded responses served from stale cache entries.
+        self.stale_served = 0
         self.log: list[AccessLogEntry] = []
 
     def _retrieve_upstream(self, cid: Cid) -> Generator:
@@ -79,10 +100,40 @@ class GatewayBridge:
         through the bridge node.
         """
         start = self.node.sim.now
+        degraded = False
         with self.node.network.tracer.span("gateway.get", cid=str(cid)) as span:
-            if self.web_cache.lookup(cid):
+            cached = bool(self.web_cache.lookup(cid))
+            fresh = cached and (
+                self.cache_ttl_s is None
+                or self.node.sim.now - self._cached_at.get(cid, start)
+                <= self.cache_ttl_s
+            )
+            if fresh:
                 size = self.node.reader.total_size(cid)
                 tier = CacheTier.NGINX
+            elif cached:
+                # Stale entry: revalidate upstream; serve the stale
+                # bytes in degraded mode if that fails and stale
+                # serving is on.
+                try:
+                    yield from self._retrieve_upstream(cid)
+                except Exception:
+                    if not self.serve_stale:
+                        raise
+                    size = self.node.reader.total_size(cid)
+                    tier = CacheTier.NGINX
+                    degraded = True
+                    self.stale_served += 1
+                    self.node.resilience.count_stale_served()
+                    if self.node.network.tracer.enabled:
+                        self.node.network.tracer.event(
+                            "gateway.stale_served", cid=str(cid)
+                        )
+                else:
+                    size = self.node.reader.total_size(cid)
+                    tier = CacheTier.NON_CACHED
+                    self.web_cache.insert(cid, size)
+                    self._cached_at[cid] = self.node.sim.now
             elif self.node.reader.has_complete_dag(cid):
                 size = self.node.reader.total_size(cid)
                 tier = CacheTier.NODE_STORE
@@ -92,6 +143,7 @@ class GatewayBridge:
                 size = self.node.reader.total_size(cid)
                 tier = CacheTier.NON_CACHED
                 self.web_cache.insert(cid, size)
+                self._cached_at[cid] = self.node.sim.now
             span.set_attrs(tier=tier.name.lower(), size=size)
         latency = self.node.sim.now - start
         entry = AccessLogEntry(
@@ -100,7 +152,7 @@ class GatewayBridge:
             latency=latency, tier=tier, referrer=None,
         )
         self.log.append(entry)
-        return BridgedResponse(cid, tier, latency, size)
+        return BridgedResponse(cid, tier, latency, size, degraded=degraded)
 
     def get_path(self, root: Cid, path: str, **kwargs) -> Generator:
         """Serve ``GET /ipfs/<root>/<path>``: shallow-resolve the

@@ -17,7 +17,7 @@ from repro.errors import IpnsError
 from repro.ipns.record import DEFAULT_VALIDITY_S, IpnsRecord, ipns_key_for, make_record
 from repro.multiformats.cid import Cid
 from repro.multiformats.peerid import PeerId
-from repro.simnet.sim import Future
+from repro.simnet.sim import Future, with_timeout
 from repro.utils.retry import RetryPolicy, retry
 
 
@@ -92,9 +92,22 @@ class IpnsResolver:
     holder (or an injected fault) then costs a retry, not a failure.
     """
 
-    def __init__(self, dht: DhtNode, retry_policy: RetryPolicy | None = None) -> None:
+    #: fixed ceiling on one resolution walk; with adaptive timeouts on,
+    #: the budget tightens to ``walk_hop_budget`` per-hop deadlines.
+    RESOLVE_BUDGET_S = 60.0
+
+    def __init__(
+        self,
+        dht: DhtNode,
+        retry_policy: RetryPolicy | None = None,
+        resilience=None,
+    ) -> None:
         self.dht = dht
         self.retry_policy = retry_policy
+        self.resilience = (
+            resilience if resilience is not None
+            else getattr(dht, "resilience", None)
+        )
 
     def _resolve_once(self, name: PeerId) -> Generator:
         raw, _stats = yield from self.dht.get_value(ipns_key_for(name))
@@ -104,6 +117,21 @@ class IpnsResolver:
         if not record.verify(name, self.dht.sim.now):
             raise IpnsError(f"IPNS record for {name} failed verification")
         return record.value
+
+    def _bounded_resolve_once(self, name: PeerId) -> Generator:
+        """One resolution walk under the adaptive time budget.
+
+        With adaptive timeouts off this is :meth:`_resolve_once`
+        verbatim — no extra process, no timer.
+        """
+        res = self.resilience
+        if res is None or not res.adaptive_on:
+            value = yield from self._resolve_once(name)
+            return value
+        budget = res.walk_budget_s(self.RESOLVE_BUDGET_S)
+        process = self.dht.sim.spawn(self._resolve_once(name))
+        value = yield with_timeout(self.dht.sim, process.future, budget)
+        return value
 
     def resolve(self, name: PeerId) -> Generator:
         """Walk the DHT for the name's record; returns the CID.
@@ -119,11 +147,11 @@ class IpnsResolver:
     def _resolve(self, name: PeerId) -> Generator:
         policy = self.retry_policy
         if policy is None or not policy.enabled:
-            value = yield from self._resolve_once(name)
+            value = yield from self._bounded_resolve_once(name)
             return value
 
         def attempt(_attempt: int) -> Future:
-            return self.dht.sim.spawn(self._resolve_once(name)).future
+            return self.dht.sim.spawn(self._bounded_resolve_once(name)).future
 
         def on_retry(_attempt: int, _error: BaseException) -> None:
             self.dht.network.stats.retries_attempted += 1

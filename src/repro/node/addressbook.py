@@ -27,6 +27,8 @@ class AddressBook:
         self._entries: OrderedDict[PeerId, tuple[Multiaddr, ...]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: hits suppressed because the peer's circuit breaker was open.
+        self.breaker_skips = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,10 +49,23 @@ class AddressBook:
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
 
-    def lookup(self, peer_id: PeerId) -> tuple[Multiaddr, ...] | None:
-        """Addresses for ``peer_id``, refreshing recency on a hit."""
+    def lookup(
+        self, peer_id: PeerId, breakers=None
+    ) -> tuple[Multiaddr, ...] | None:
+        """Addresses for ``peer_id``, refreshing recency on a hit.
+
+        When a circuit-breaker registry is passed (anything with
+        ``is_open(peer_id)``) and the peer's breaker is open, the hit
+        is suppressed: cached addresses of a peer that just burned
+        dial timeouts are exactly the entries not worth trusting, and
+        a miss sends the caller to the DHT for a fresh peer record.
+        """
         addresses = self._entries.get(peer_id)
         if addresses is None:
+            self.misses += 1
+            return None
+        if breakers is not None and breakers.is_open(peer_id):
+            self.breaker_skips += 1
             self.misses += 1
             return None
         self._entries.move_to_end(peer_id)

@@ -9,6 +9,7 @@ from repro.dht.lookup import LookupConfig
 from repro.dht.records import EXPIRY_INTERVAL_S, REPUBLISH_INTERVAL_S
 from repro.merkledag.chunker import DEFAULT_CHUNK_SIZE
 from repro.node.addressbook import ADDRESS_BOOK_CAPACITY
+from repro.resilience import ResilienceConfig
 from repro.utils.retry import RetryPolicy
 
 
@@ -50,3 +51,7 @@ class NodeConfig:
     #: (the paper's go-bitswap session behaviour at measurement time).
     bitswap_retry: RetryPolicy = RetryPolicy()
     bitswap_silence_timeout_s: float = 8.0
+    #: Graceful-degradation features (circuit breakers, adaptive
+    #: deadlines, hedging, fallbacks); every flag defaults off, so the
+    #: stock node is byte-identical to the pre-resilience stack.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)

@@ -37,6 +37,7 @@ from repro.multiformats.multiaddr import Multiaddr, Protocol
 from repro.multiformats.peerid import PeerId
 from repro.node.addressbook import AddressBook
 from repro.node.config import NodeConfig
+from repro.resilience import Resilience, hedged_call
 from repro.simnet.latency import PeerClass, Region
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.sim import Future, Simulator, any_of
@@ -77,6 +78,9 @@ class RetrievalReceipt:
     fetch_duration: float
     total_duration: float
     bytes_fetched: int
+    #: the provider was found by the degraded-mode Bitswap broadcast
+    #: after the DHT walk exhausted (resilience fallbacks only).
+    via_fallback: bool = False
 
     @property
     def discovery_duration(self) -> float:
@@ -130,8 +134,10 @@ class IpfsNode:
         network.register(self.host)
         # NAT'ed nodes default to DHT clients (the AutoNAT outcome).
         server = dht_server if dht_server is not None else not nat_private
+        self.resilience = Resilience(self.config.resilience, sim, network)
         self.dht = DhtNode(sim, network, self.host, rng, server=server,
-                           lookup_config=self.config.lookup)
+                           lookup_config=self.config.lookup,
+                           resilience=self.resilience)
         self.blockstore = PinningBlockstore()
         self.bitswap = BitswapEngine(sim, network, self.host, self.blockstore)
         self.address_book = AddressBook(self.config.address_book_capacity)
@@ -254,18 +260,21 @@ class IpfsNode:
         with tracer.span("node.retrieve", cid=str(cid)) as root_span:
             with tracer.span("retrieve.discover"):
                 if self.config.parallel_discovery:
-                    provider, timings = yield from self._discover_parallel(cid)
+                    provider, alternates, timings = yield from self._discover_parallel(cid)
                 else:
-                    provider, timings = yield from self._discover_sequential(cid)
-            bitswap_window, provider_walk, via_bitswap = timings
+                    provider, alternates, timings = yield from self._discover_sequential(cid)
+            bitswap_window, provider_walk, via_bitswap, via_fallback = timings
 
             # Peer discovery: address book, then the address hint a
             # GET_PROVIDERS response may have attached (go-ipfs providers
             # self-report addresses with a 30 min TTL), else the second
             # DHT walk.
             peer_walk = 0.0
+            breakers = (
+                self.resilience.breakers if self.resilience.breakers_on else None
+            )
             if not via_bitswap and not self.host.is_connected(provider):
-                if self.address_book.lookup(provider) is None:
+                if self.address_book.lookup(provider, breakers=breakers) is None:
                     hint = (
                         self.dht.address_hints.pop(provider, None)
                         if self.config.provider_addr_hints
@@ -291,11 +300,21 @@ class IpfsNode:
             dial_start = self.sim.now
             with tracer.span("retrieve.dial"):
                 if not self.host.is_connected(provider):
-                    yield from retry(
-                        self.sim, self.rng, self.config.dial_retry,
-                        lambda _attempt: self.network.dial(self.host, provider),
-                        self._count_retry,
-                    )
+                    if self.resilience.hedging_on and alternates:
+                        provider = yield from self._dial_hedged(
+                            provider, alternates[0]
+                        )
+                    else:
+                        try:
+                            yield from retry(
+                                self.sim, self.rng, self.config.dial_retry,
+                                lambda _attempt: self.network.dial(self.host, provider),
+                                self._count_retry,
+                            )
+                        except Exception:
+                            self.resilience.record_failure(provider)
+                            raise
+                        self.resilience.record_success(provider)
             dial_duration = self.sim.now - dial_start
 
             # Content exchange.
@@ -305,6 +324,7 @@ class IpfsNode:
                 retry_policy=self.config.bitswap_retry,
                 rng=self.rng,
                 silence_timeout_s=self.config.bitswap_silence_timeout_s,
+                resilience=self.resilience if self.config.resilience.any_enabled else None,
             )
             with tracer.span("retrieve.fetch"):
                 if recursive:
@@ -329,23 +349,39 @@ class IpfsNode:
                 fetch_duration=fetch_duration,
                 total_duration=self.sim.now - start,
                 bytes_fetched=session.bytes_fetched,
+                via_fallback=via_fallback,
             )
 
     def _discover_sequential(self, cid: Cid) -> Generator:
-        """Bitswap window first, DHT walk only on a miss (the default)."""
+        """Bitswap window first, DHT walk only on a miss (the default).
+
+        Returns ``(provider, alternate_providers, timings)`` where the
+        alternates are further providers the same GET_PROVIDERS
+        response carried — hedged dials race the first of them against
+        the primary.
+        """
         window_start = self.sim.now
         peer = yield from self.bitswap.discover_connected(
             cid, self.config.bitswap_timeout_s
         )
         bitswap_window = self.sim.now - window_start
         if peer is not None:
-            return peer, (bitswap_window, 0.0, True)
+            return peer, [], (bitswap_window, 0.0, True, False)
         walk_start = self.sim.now
         records, _ = yield from self.dht.find_providers(cid)
         provider_walk = self.sim.now - walk_start
         if not records:
+            if self.resilience.fallbacks_on:
+                peer = yield from self._fallback_discover(cid)
+                if peer is not None:
+                    return peer, [], (
+                        bitswap_window, self.sim.now - walk_start, True, True
+                    )
             raise ProviderNotFoundError(f"no provider record found for {cid}")
-        return records[0].provider, (bitswap_window, provider_walk, False)
+        alternates = [record.provider for record in records[1:]]
+        return records[0].provider, alternates, (
+            bitswap_window, provider_walk, False, False
+        )
 
     def _discover_parallel(self, cid: Cid) -> Generator:
         """Race the Bitswap window against the DHT walk (Section 6.2)."""
@@ -369,15 +405,87 @@ class IpfsNode:
         index, value = yield any_of([bitswap_hit_only(), walk_process.future])
         elapsed = self.sim.now - start
         if index == 0:
-            return value, (elapsed, 0.0, True)
+            return value, [], (elapsed, 0.0, True, False)
         records, _ = value
         if records:
-            return records[0].provider, (0.0, elapsed, False)
+            alternates = [record.provider for record in records[1:]]
+            return records[0].provider, alternates, (0.0, elapsed, False, False)
         # The walk exhausted without providers; give Bitswap its window.
         peer = yield bitswap_process.future
         if peer is not None:
-            return peer, (self.sim.now - start, 0.0, True)
+            return peer, [], (self.sim.now - start, 0.0, True, False)
+        if self.resilience.fallbacks_on:
+            peer = yield from self._fallback_discover(cid)
+            if peer is not None:
+                return peer, [], (self.sim.now - start, 0.0, True, True)
         raise ProviderNotFoundError(f"no provider record found for {cid}")
+
+    def _fallback_discover(self, cid: Cid) -> Generator:
+        """Degraded mode: broadcast a want over current connections.
+
+        The DHT walk exhausted without a provider record — under heavy
+        churn the record holders may all be gone. Before giving up, ask
+        every currently-connected peer directly (a second, wider
+        Bitswap round beyond the initial 1 s window; go-ipfs keeps
+        wants pending on all sessions similarly). Returns the first
+        peer claiming the block, or None.
+        """
+        res = self.resilience
+        res.count_fallback_broadcast()
+        if self.network.tracer.enabled:
+            self.network.tracer.event(
+                "resilience.fallback", cid=str(cid),
+                connected=len(self.host.connections),
+            )
+        peer = yield from self.bitswap.discover_connected(
+            cid, res.config.fallback_window_s
+        )
+        if peer is not None:
+            res.count_fallback_hit()
+        return peer
+
+    def _dial_hedged(self, primary: PeerId, backup: PeerId) -> Generator:
+        """Race the primary provider's dial against the next-best one.
+
+        The hedge launches only after the primary dial has been out for
+        the adaptive hedge delay. Returns whichever provider's dial won
+        (the caller fetches from that provider).
+        """
+        res = self.resilience
+
+        def dial_factory(peer_id: PeerId):
+            def factory() -> Future:
+                def attempt(_attempt: int) -> Future:
+                    return self.network.dial(self.host, peer_id)
+
+                future = self.sim.spawn(
+                    retry(self.sim, self.rng, self.config.dial_retry,
+                          attempt, self._count_retry)
+                ).future
+
+                def feed(settled: Future) -> None:
+                    if settled.failed:
+                        res.record_failure(peer_id)
+                    else:
+                        res.record_success(peer_id)
+
+                future.add_callback(feed)
+                return future
+
+            return factory
+
+        remote = self.network.host(primary)
+        delay = res.hedge_delay_s(remote.region if remote is not None else None)
+        outcome = yield from hedged_call(
+            self.sim, dial_factory(primary), dial_factory(backup), delay
+        )
+        if outcome.hedged:
+            res.count_hedge_launched()
+            if outcome.winner == 1:
+                res.count_hedge_win()
+                return backup
+            res.count_hedge_loss()
+        return primary
 
     def cat(self, cid: Cid) -> bytes:
         """Reassemble locally-held content (after :meth:`retrieve`)."""

@@ -1,0 +1,108 @@
+"""Hedged requests: race a delayed second copy, first response wins.
+
+Section 6.2 shows DHT walks dominated by their slowest step; under
+churn a single slow/dead peer stalls the whole hop for a full timeout.
+Hedging bounds that tail: if the original has been out longer than a
+high quantile of observed response times, fire one duplicate at the
+next-best candidate and take whichever answers first (Dean & Barroso,
+"The Tail at Scale"). The delay keeps duplicate load negligible — only
+the slowest ~10 % of requests ever hedge.
+
+:func:`hedged_call` is the generic two-arm racer used for provider
+dials; the DHT walk integrates hedging directly into its shortlist
+loop (it already multiplexes α in-flight queries, so hedges there are
+just extra launch budget against the same shortlist).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simnet.sim import Future, Simulator
+
+#: A factory that starts one arm of the race and returns its future.
+ArmFactory = Callable[[], Future]
+
+
+def first_success(futures: list[Future]) -> Future:
+    """A future for the first *success* among ``futures``.
+
+    Resolves to ``(index, value)`` of the first future to succeed.
+    Unlike :func:`repro.simnet.sim.any_of` — which settles on the
+    first *settlement*, failure included — this keeps waiting past
+    failures, and fails (with the last error) only once every input
+    has failed. That is the semantics a hedge race needs: one arm
+    dying must not kill the race while the other arm is still live.
+    """
+    combined = Future()
+    futures = list(futures)
+    if not futures:
+        raise ValueError("first_success() needs at least one future")
+    remaining = len(futures)
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(future: Future) -> None:
+            nonlocal remaining
+            if combined.done:
+                return
+            error = future.exception()
+            if error is None:
+                combined.resolve((index, future.result()))
+                return
+            remaining -= 1
+            if remaining == 0:
+                combined.fail(error)
+
+        return on_done
+
+    for i, future in enumerate(futures):
+        future.add_callback(make_callback(i))
+    return combined
+
+
+@dataclass(frozen=True)
+class HedgeOutcome:
+    """What a hedged call did and which arm won."""
+
+    value: Any
+    #: whether the second copy was launched at all.
+    hedged: bool
+    #: 0 = primary answered, 1 = hedge answered.
+    winner: int
+
+
+def hedged_call(
+    sim: Simulator,
+    primary_factory: ArmFactory,
+    hedge_factory: ArmFactory,
+    delay_s: float,
+) -> Generator:
+    """Run the primary arm, hedging with the second after ``delay_s``.
+
+    The primary is started immediately. If it settles before the delay
+    elapses, a success is returned directly and a failure falls over to
+    the hedge arm (failover, not a race — no reason to wait out the
+    delay once the primary is known dead). If the delay fires first,
+    the hedge launches and the two race under :func:`first_success`;
+    the loser keeps running until its own timeout but its settlement is
+    ignored (simulated RPCs cannot be recalled mid-flight any more than
+    real ones). Raises the last arm's error when both fail.
+    """
+    primary = primary_factory()
+    head = Future()
+    timer = sim.schedule(delay_s, lambda: head.resolve(("timer", None)))
+    primary.add_callback(lambda f: head.resolve(("primary", f)))
+
+    kind, settled = yield head
+    if kind == "primary":
+        timer.cancel()
+        if settled.exception() is None:
+            return HedgeOutcome(settled.result(), hedged=False, winner=0)
+        # Primary already failed: fall over to the backup immediately.
+        value = yield hedge_factory()
+        return HedgeOutcome(value, hedged=True, winner=1)
+
+    winner, value = yield first_success([primary, hedge_factory()])
+    return HedgeOutcome(value, hedged=True, winner=winner)

@@ -19,6 +19,11 @@ import dataclasses
 import sys
 
 from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
+from repro.experiments.chaos_recovery import (
+    ChaosRecoveryConfig,
+    full_resilience_config,
+    run_chaos_recovery_experiment,
+)
 from repro.experiments.deployment import (
     CrawlCampaignConfig,
     analyze_population,
@@ -31,6 +36,8 @@ from repro.experiments.gateway_exp import (
 from repro.experiments.perf import PerfConfig, run_perf_experiment
 from repro.experiments.report import render_cdf, render_share_table, render_table
 from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
+from repro.node.config import NodeConfig
+from repro.resilience import ResilienceConfig
 from repro.obs import (
     Observability,
     publication_breakdown,
@@ -60,6 +67,35 @@ def _intensity_list(text: str) -> tuple[float, ...]:
     return values
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The resilience feature-flag group (all default off)."""
+    group = parser.add_argument_group(
+        "resilience", "graceful-degradation features (default: all off)"
+    )
+    group.add_argument("--breakers", action="store_true",
+                       help="per-peer circuit breakers on dial/RPC failures")
+    group.add_argument("--hedging", action="store_true",
+                       help="hedge slow walk RPCs and provider dials")
+    group.add_argument("--adaptive-timeouts", action="store_true",
+                       help="RTT-derived RPC deadlines instead of fixed")
+    group.add_argument("--fallbacks", action="store_true",
+                       help="degraded-mode Bitswap broadcast + stale serving")
+
+
+def _resilience_from_args(args) -> ResilienceConfig | None:
+    """A :class:`ResilienceConfig` from the flag group, or ``None``
+    when no flag was given (leaves the stock disabled config alone)."""
+    if not (args.breakers or args.hedging or args.adaptive_timeouts
+            or args.fallbacks):
+        return None
+    return ResilienceConfig(
+        breakers=args.breakers,
+        hedging=args.hedging,
+        adaptive_timeouts=args.adaptive_timeouts,
+        fallbacks=args.fallbacks,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="IPFS reproduction experiment runner"
@@ -74,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write per-operation JSONL records")
     perf.add_argument("--trace", metavar="FILE", default=None,
                       help="record sim-time spans and write the JSONL trace")
+    _add_resilience_flags(perf)
 
     deployment = sub.add_parser(
         "deployment", help="population analysis (Figs 5/7, Tables 2/3)"
@@ -100,6 +137,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write per-level JSONL records")
     chaos.add_argument("--trace", metavar="FILE", default=None,
                        help="record sim-time spans and write the JSONL trace")
+    _add_resilience_flags(chaos)
+
+    recovery = sub.add_parser(
+        "chaos-recovery",
+        help="churn x mixed-fault sweep, resilience layer on vs off",
+    )
+    recovery.add_argument("--peers", type=int, default=300)
+    recovery.add_argument("--intensities", type=_intensity_list,
+                          default=(0.0, 0.2, 0.3),
+                          help="comma-separated overall fault probabilities")
+    recovery.add_argument("--retrievals", type=int, default=10,
+                          help="retrievals per intensity level")
+    recovery.add_argument("--unannounced", type=int, default=3,
+                          help="extra cached-but-unannounced retrievals "
+                               "per level (only fallbacks can win these)")
+    recovery.add_argument("--export", metavar="FILE", default=None,
+                          help="write per-level JSONL records")
 
     trace = sub.add_parser(
         "trace", help="traced perf run with per-phase latency breakdown"
@@ -121,8 +175,14 @@ def _cmd_perf(args) -> None:
     population = generate_population(
         PopulationConfig(n_peers=args.peers), derive_rng(args.seed, "cli-pop")
     )
+    resilience = _resilience_from_args(args)
+    node_config = (
+        NodeConfig(resilience=resilience) if resilience is not None else None
+    )
     scenario = build_scenario(
-        population, ScenarioConfig(seed=args.seed), vantage_regions=AWS_REGIONS
+        population,
+        ScenarioConfig(seed=args.seed, node_config=node_config),
+        vantage_regions=AWS_REGIONS,
     )
     obs = Observability() if args.trace else None
     results = run_perf_experiment(
@@ -215,6 +275,7 @@ def _cmd_chaos(args) -> None:
         n_peers=args.peers,
         intensities=args.intensities,
         retrievals_per_level=args.retrievals,
+        resilience=_resilience_from_args(args),
     )
     obs = Observability() if args.trace else None
     baseline = run_chaos_experiment(
@@ -252,6 +313,54 @@ def _cmd_chaos(args) -> None:
     if args.trace:
         rows_written = export.export_trace(obs.tracer, args.trace)
         print(f"wrote {rows_written} trace records to {args.trace}")
+
+
+def _cmd_chaos_recovery(args) -> None:
+    config = ChaosRecoveryConfig(
+        seed=args.seed,
+        n_peers=args.peers,
+        intensities=args.intensities,
+        retrievals_per_level=args.retrievals,
+        unannounced_retrievals=args.unannounced,
+    )
+    baseline = run_chaos_recovery_experiment(
+        dataclasses.replace(config, with_resilience=False)
+    )
+    resilient = run_chaos_recovery_experiment(config)
+
+    def fmt_pcts(level) -> str:
+        pcts = level.latency_percentiles()
+        if pcts is None:
+            return "-"
+        return " / ".join(f"{x:.1f}" for x in pcts)
+
+    rows = []
+    for base, res in zip(baseline.levels, resilient.levels):
+        rows.append((
+            f"{base.intensity:.0%}",
+            f"{base.success_rate:.0%}", fmt_pcts(base),
+            f"{res.success_rate:.0%}", fmt_pcts(res),
+            res.breaker_opened, res.hedges_launched,
+            f"{res.fallback_hits}/{res.fallback_broadcasts}",
+        ))
+    flags = full_resilience_config()
+    print(render_table(
+        "Chaos recovery — churn x mixed faults, resilience on vs off",
+        ["faults", "success (off)", "p50/p90/p95 (off)",
+         "success (on)", "p50/p90/p95 (on)",
+         "breakers", "hedges", "fallback hit/cast"],
+        rows,
+        note=f"{args.retrievals}+{args.unannounced} retrievals per level, "
+             f"{args.peers} peers, churn on; resilience arm: "
+             f"breakers={flags.breakers} hedging={flags.hedging} "
+             f"adaptive={flags.adaptive_timeouts} "
+             f"fallbacks={flags.fallbacks}",
+    ))
+    if args.export:
+        rows_written = export.export_chaos_recovery_dataset(
+            [baseline, resilient], args.export
+        )
+        print(f"\nwrote {rows_written} level records to {args.export}")
 
 
 def _cmd_trace(args) -> None:
@@ -323,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
         "deployment": _cmd_deployment,
         "crawl": _cmd_crawl,
         "chaos": _cmd_chaos,
+        "chaos-recovery": _cmd_chaos_recovery,
         "gateway": _cmd_gateway,
         "trace": _cmd_trace,
     }

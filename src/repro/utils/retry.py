@@ -25,7 +25,7 @@ from collections.abc import Callable, Generator
 from dataclasses import dataclass
 
 from repro.errors import ReproError
-from repro.simnet.sim import Future, Simulator
+from repro.simnet.sim import Future, Simulator, TimeoutError_, with_timeout
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,7 @@ def retry(
     policy: RetryPolicy,
     attempt_factory: AttemptFactory,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    deadline_s: float | None = None,
 ) -> Generator:
     """Drive ``attempt_factory`` under ``policy`` as a sim process.
 
@@ -107,13 +108,28 @@ def retry(
     attempts back off per the policy; ``on_retry(attempt, error)`` is
     called before each re-attempt (used for stats counters). Raises the
     last error once attempts or the deadline are exhausted.
+
+    ``deadline_s`` is the *caller's* remaining budget (e.g. an adaptive
+    walk deadline) and composes with ``policy.deadline_s`` — the
+    tighter of the two wins. When a budget is active every attempt is
+    truncated to the remaining budget via ``with_timeout``, so the last
+    attempt cannot overshoot what the caller has left; without one,
+    attempts run unwrapped exactly as before.
     """
     deadline = None if policy.deadline_s is None else sim.now + policy.deadline_s
+    if deadline_s is not None:
+        budget = sim.now + deadline_s
+        deadline = budget if deadline is None else min(deadline, budget)
     previous = policy.base_delay_s
     last_error: BaseException | None = None
     for attempt in range(1, policy.max_attempts + 1):
         try:
-            result = yield attempt_factory(attempt)
+            if deadline is not None and deadline - sim.now <= 0:
+                break  # no budget left: do not even send the attempt
+            future = attempt_factory(attempt)
+            if deadline is not None:
+                future = with_timeout(sim, future, deadline - sim.now)
+            result = yield future
             return result
         except Exception as exc:  # noqa: BLE001 - retry any library error
             last_error = exc
@@ -127,5 +143,6 @@ def retry(
             on_retry(attempt, last_error)
         if delay > 0:
             yield delay
-    assert last_error is not None
+    if last_error is None:
+        raise TimeoutError_("retry budget exhausted before first attempt")
     raise last_error

@@ -27,7 +27,7 @@ distribution — the same mechanism the paper observes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.measurement.registries import AsInfo, CloudRegistry, GeoIpRegistry
 from repro.multiformats.peerid import PeerId

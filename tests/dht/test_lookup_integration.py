@@ -4,7 +4,6 @@ a simulated network."""
 import pytest
 
 from repro.dht.keyspace import key_for_cid, key_for_peer, xor_distance
-from repro.dht.records import PeerRecord
 from repro.multiformats.cid import make_cid
 from repro.multiformats.multiaddr import Multiaddr
 from tests.helpers import build_world

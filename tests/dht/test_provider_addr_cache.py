@@ -1,0 +1,54 @@
+"""Regression tests: the provider self-reported address cache must not
+grow without bound on a long-lived record holder (entries past the
+30 min TTL are pruned on insert, not merely filtered at read time)."""
+
+from repro.dht import rpc
+from repro.dht.dht_node import PROVIDER_ADDR_TTL_S
+from repro.dht.records import ProviderRecord
+from repro.multiformats.cid import make_cid
+from repro.multiformats.multiaddr import Multiaddr
+from repro.multiformats.peerid import PeerId
+from tests.helpers import build_world
+
+ADDR = (Multiaddr.parse("/ip4/10.0.0.1/tcp/4001"),)
+
+
+def announce(node, index: int) -> None:
+    provider = PeerId.from_public_key(b"provider-%d" % index)
+    request = rpc.AddProviderRequest(
+        ProviderRecord(make_cid(b"blob-%d" % index), provider, node.sim.now),
+        addresses=ADDR,
+    )
+    node._on_add_provider(provider, request)
+
+
+class TestProviderAddrPruning:
+    def test_expired_entries_are_pruned_on_insert(self):
+        world = build_world(n=2, seed=51, populate=False)
+        node = world.node(0)
+        for index in range(10):
+            announce(node, index)
+        assert len(node._provider_addrs) == 10
+        world.sim.run(until=PROVIDER_ADDR_TTL_S)
+        announce(node, 99)
+        # The ten stale entries went out with the new insert.
+        assert len(node._provider_addrs) == 1
+
+    def test_cache_stays_bounded_across_many_ttl_windows(self):
+        world = build_world(n=2, seed=52, populate=False)
+        node = world.node(0)
+        # A record holder watching a new provider every 10 minutes for
+        # a (simulated) day: without pruning this reaches 144 entries.
+        for index in range(144):
+            announce(node, index)
+            world.sim.run(until=world.sim.now + 600.0)
+        live = PROVIDER_ADDR_TTL_S / 600.0
+        assert len(node._provider_addrs) <= live + 1
+
+    def test_fresh_entries_survive_the_sweep(self):
+        world = build_world(n=2, seed=53, populate=False)
+        node = world.node(0)
+        announce(node, 0)
+        world.sim.run(until=PROVIDER_ADDR_TTL_S - 1.0)
+        announce(node, 1)
+        assert len(node._provider_addrs) == 2

@@ -1,0 +1,68 @@
+"""Tests for the chaos-recovery experiment (churn x faults, resilience
+on vs off)."""
+
+import dataclasses
+
+from repro.experiments.chaos_recovery import (
+    ChaosRecoveryConfig,
+    full_resilience_config,
+    run_chaos_recovery_experiment,
+)
+from repro.tools.export import export_chaos_recovery_dataset
+
+TINY = ChaosRecoveryConfig(
+    seed=7,
+    n_peers=80,
+    intensities=(0.15,),
+    retrievals_per_level=2,
+    unannounced_retrievals=2,
+)
+
+
+class TestChaosRecovery:
+    def test_resilient_arm_reports_coherent_telemetry(self):
+        results = run_chaos_recovery_experiment(TINY)
+        (level,) = results.levels
+        assert level.with_resilience
+        assert level.attempted == 4  # 2 announced + 2 unannounced
+        assert level.unannounced_attempted == 2
+        assert level.succeeded == len(level.latencies) + level.unannounced_succeeded
+        assert 0.0 <= level.success_rate <= 1.0
+        assert level.faults_injected > 0
+        # The unannounced objects have no provider record anywhere, so
+        # every rescue came through the degraded-mode broadcast.
+        assert level.fallback_broadcasts >= level.unannounced_succeeded > 0
+        assert level.fallback_hits >= level.unannounced_succeeded
+
+    def test_baseline_arm_runs_without_resilience_counters(self):
+        results = run_chaos_recovery_experiment(
+            dataclasses.replace(TINY, with_resilience=False)
+        )
+        (level,) = results.levels
+        assert not level.with_resilience
+        assert level.breaker_opened == 0
+        assert level.hedges_launched == 0
+        assert level.fallback_broadcasts == 0
+        # Unannounced content is invisible without the fallback.
+        assert level.unannounced_succeeded == 0
+
+    def test_full_resilience_config_turns_everything_on(self):
+        flags = full_resilience_config()
+        assert flags.breakers and flags.hedging
+        assert flags.adaptive_timeouts and flags.fallbacks
+        assert flags.any_enabled
+
+    def test_export_dataset_round_trips(self, tmp_path):
+        import json
+
+        results = run_chaos_recovery_experiment(TINY)
+        path = tmp_path / "recovery.jsonl"
+        rows = export_chaos_recovery_dataset([results], path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == rows == 1
+        row = lines[0]
+        assert row["intensity"] == 0.15
+        assert row["with_resilience"] is True
+        assert row["attempted"] == 4
+        assert row["unannounced_attempted"] == 2
+        assert row["success_rate"] == lines[0]["succeeded"] / 4

@@ -7,7 +7,6 @@ requested CID." These tests inject misbehaviour and check the system
 degrades the way the design promises.
 """
 
-import pytest
 
 from repro.bitswap.engine import BitswapEngine
 from repro.bitswap.messages import WANT_BLOCK, BlockResponse

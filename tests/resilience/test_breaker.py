@@ -1,0 +1,199 @@
+"""Tests for the per-peer circuit breaker registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.multiformats.peerid import PeerId
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    BreakerRegistry,
+)
+
+PEER = PeerId.from_public_key(b"breaker-peer-a")
+OTHER = PeerId.from_public_key(b"breaker-peer-b")
+
+
+class Clock:
+    """A settable sim clock stand-in."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(clock, hook=None, **overrides) -> BreakerRegistry:
+    defaults = dict(failure_threshold=3, cooldown_s=60.0)
+    defaults.update(overrides)
+    return BreakerRegistry(
+        BreakerConfig(**defaults), clock=clock, on_transition=hook
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ReproError):
+            BreakerConfig(cooldown_s=0.0)
+        with pytest.raises(ReproError):
+            BreakerConfig(half_open_probes=0)
+        with pytest.raises(ReproError):
+            BreakerConfig(cooldown_multiplier=0.5)
+
+
+class TestTransitions:
+    def test_unknown_peer_is_closed_and_allowed(self):
+        registry = make(Clock())
+        assert registry.state(PEER) == CLOSED
+        assert registry.allow(PEER)
+        assert not registry.is_open(PEER)
+        assert len(registry) == 0
+
+    def test_opens_after_consecutive_failures(self):
+        registry = make(Clock())
+        registry.record_failure(PEER)
+        registry.record_failure(PEER)
+        assert registry.state(PEER) == CLOSED
+        registry.record_failure(PEER)
+        assert registry.state(PEER) == OPEN
+        assert registry.is_open(PEER)
+        assert not registry.allow(PEER)
+
+    def test_success_resets_the_failure_streak(self):
+        registry = make(Clock())
+        registry.record_failure(PEER)
+        registry.record_failure(PEER)
+        registry.record_success(PEER)
+        registry.record_failure(PEER)
+        registry.record_failure(PEER)
+        assert registry.state(PEER) == CLOSED
+
+    def test_peers_are_independent(self):
+        registry = make(Clock())
+        for _ in range(3):
+            registry.record_failure(PEER)
+        assert registry.is_open(PEER)
+        assert not registry.is_open(OTHER)
+        assert registry.allow(OTHER)
+
+    def test_refusals_count_skips(self):
+        registry = make(Clock())
+        for _ in range(3):
+            registry.record_failure(PEER)
+        assert not registry.allow(PEER)
+        assert not registry.allow(PEER)
+        assert registry.skips == 2
+
+    def test_cooldown_elapses_into_half_open_via_allow(self):
+        clock = Clock()
+        registry = make(clock)
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 59.9
+        assert not registry.allow(PEER)
+        clock.now = 60.0
+        assert registry.allow(PEER)  # the probe
+        assert registry.state(PEER) == HALF_OPEN
+
+    def test_is_open_is_read_only(self):
+        clock = Clock()
+        registry = make(clock)
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 120.0
+        # Past the cooldown the peer is no longer treated as open, but
+        # a read must not consume the probe or change state.
+        assert not registry.is_open(PEER)
+        assert registry.state(PEER) == OPEN
+        assert registry.allow(PEER)
+        assert registry.state(PEER) == HALF_OPEN
+
+    def test_half_open_admits_only_the_configured_probes(self):
+        clock = Clock()
+        registry = make(clock, half_open_probes=1)
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 60.0
+        assert registry.allow(PEER)
+        assert not registry.allow(PEER)  # probe budget spent
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        clock = Clock()
+        registry = make(clock)
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 60.0
+        assert registry.allow(PEER)
+        registry.record_success(PEER)
+        assert registry.state(PEER) == CLOSED
+        # A later trip starts from the base cooldown again.
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now += 60.0
+        assert registry.allow(PEER)
+
+    def test_probe_failure_reopens_with_escalated_cooldown(self):
+        clock = Clock()
+        registry = make(clock, cooldown_multiplier=2.0)
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 60.0
+        assert registry.allow(PEER)
+        registry.record_failure(PEER)
+        assert registry.state(PEER) == OPEN
+        clock.now = 60.0 + 60.0
+        assert not registry.allow(PEER)  # doubled cooldown not over yet
+        clock.now = 60.0 + 120.0
+        assert registry.allow(PEER)
+
+    def test_cooldown_escalation_is_capped(self):
+        clock = Clock()
+        registry = make(
+            clock, cooldown_s=100.0, cooldown_multiplier=10.0,
+            max_cooldown_s=250.0,
+        )
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 100.0
+        assert registry.allow(PEER)
+        registry.record_failure(PEER)  # cooldown would be 1000, capped at 250
+        clock.now = 100.0 + 250.0
+        assert registry.allow(PEER)
+
+    def test_failures_while_open_are_ignored(self):
+        clock = Clock()
+        registry = make(clock)
+        for _ in range(6):
+            registry.record_failure(PEER)
+        clock.now = 60.0
+        # Extra failures while open must not extend or escalate.
+        assert registry.allow(PEER)
+
+    def test_open_peers_listing(self):
+        registry = make(Clock())
+        for _ in range(3):
+            registry.record_failure(PEER)
+        registry.record_failure(OTHER)
+        assert registry.open_peers() == [PEER]
+
+
+class TestTransitionHook:
+    def test_hook_sees_each_transition_once(self):
+        clock = Clock()
+        seen = []
+        registry = make(
+            clock, hook=lambda peer, old, new: seen.append((old, new))
+        )
+        for _ in range(3):
+            registry.record_failure(PEER)
+        clock.now = 60.0
+        registry.allow(PEER)
+        registry.record_success(PEER)
+        assert seen == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)
+        ]

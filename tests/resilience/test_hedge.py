@@ -1,0 +1,140 @@
+"""Tests for first_success and the two-arm hedged call."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import HedgeOutcome, first_success, hedged_call
+from repro.simnet.sim import Future, Simulator
+
+
+def settle_later(sim, delay, value=None, error=None) -> Future:
+    """A future that settles after ``delay`` sim-seconds."""
+    future = Future()
+    if error is not None:
+        sim.schedule(delay, lambda: future.fail(error))
+    else:
+        sim.schedule(delay, lambda: future.resolve(value))
+    return future
+
+
+class TestFirstSuccess:
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            first_success([])
+
+    def test_first_settlement_wins_when_successful(self):
+        sim = Simulator()
+        combined = first_success([
+            settle_later(sim, 2.0, value="slow"),
+            settle_later(sim, 1.0, value="fast"),
+        ])
+        sim.run(until=3.0)
+        assert combined.result() == (1, "fast")
+
+    def test_waits_past_failures(self):
+        sim = Simulator()
+        combined = first_success([
+            settle_later(sim, 1.0, error=ReproError("dead")),
+            settle_later(sim, 2.0, value="alive"),
+        ])
+        sim.run(until=1.5)
+        assert not combined.done
+        sim.run(until=3.0)
+        assert combined.result() == (1, "alive")
+
+    def test_fails_only_when_every_arm_fails(self):
+        sim = Simulator()
+        last = ReproError("last")
+        combined = first_success([
+            settle_later(sim, 1.0, error=ReproError("first")),
+            settle_later(sim, 2.0, error=last),
+        ])
+        sim.run(until=3.0)
+        assert combined.failed
+        assert combined.exception() is last
+
+    def test_late_settlements_are_ignored(self):
+        sim = Simulator()
+        fast = settle_later(sim, 1.0, value="fast")
+        slow = settle_later(sim, 2.0, error=ReproError("loser"))
+        combined = first_success([fast, slow])
+        sim.run(until=3.0)
+        assert combined.result() == (0, "fast")
+
+
+class TestHedgedCall:
+    def run_hedged(self, sim, primary, hedge_factory, delay):
+        def proc():
+            outcome = yield from hedged_call(
+                sim, lambda: primary, hedge_factory, delay
+            )
+            return outcome
+
+        return sim.run_process(proc())
+
+    def test_fast_primary_never_hedges(self):
+        sim = Simulator()
+        launched = []
+
+        def hedge_factory():
+            launched.append(True)
+            return settle_later(sim, 0.1, value="hedge")
+
+        outcome = self.run_hedged(
+            sim, settle_later(sim, 0.5, value="primary"), hedge_factory, 2.0
+        )
+        assert outcome == HedgeOutcome("primary", hedged=False, winner=0)
+        assert launched == []
+
+    def test_slow_primary_hedges_and_the_hedge_wins(self):
+        sim = Simulator()
+        outcome = self.run_hedged(
+            sim,
+            settle_later(sim, 10.0, value="primary"),
+            lambda: settle_later(sim, 0.5, value="hedge"),
+            1.0,
+        )
+        assert outcome == HedgeOutcome("hedge", hedged=True, winner=1)
+        assert sim.now == pytest.approx(1.5)
+
+    def test_primary_can_still_win_the_race(self):
+        sim = Simulator()
+        outcome = self.run_hedged(
+            sim,
+            settle_later(sim, 1.2, value="primary"),
+            lambda: settle_later(sim, 5.0, value="hedge"),
+            1.0,
+        )
+        assert outcome == HedgeOutcome("primary", hedged=True, winner=0)
+
+    def test_early_primary_failure_fails_over_immediately(self):
+        sim = Simulator()
+        outcome = self.run_hedged(
+            sim,
+            settle_later(sim, 0.2, error=ReproError("dead")),
+            lambda: settle_later(sim, 0.3, value="hedge"),
+            5.0,
+        )
+        assert outcome == HedgeOutcome("hedge", hedged=True, winner=1)
+        # Failover fired at 0.2 s, not after the 5 s hedge delay.
+        assert sim.now == pytest.approx(0.5)
+
+    def test_hedge_covers_a_primary_that_dies_mid_race(self):
+        sim = Simulator()
+        outcome = self.run_hedged(
+            sim,
+            settle_later(sim, 2.0, error=ReproError("dead")),
+            lambda: settle_later(sim, 3.0, value="hedge"),
+            1.0,
+        )
+        assert outcome == HedgeOutcome("hedge", hedged=True, winner=1)
+
+    def test_both_arms_failing_raises(self):
+        sim = Simulator()
+        with pytest.raises(ReproError):
+            self.run_hedged(
+                sim,
+                settle_later(sim, 2.0, error=ReproError("p")),
+                lambda: settle_later(sim, 3.0, error=ReproError("h")),
+                1.0,
+            )

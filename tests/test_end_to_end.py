@@ -10,12 +10,10 @@ simulation — and checks the cross-subsystem invariants hold.
 import pytest
 
 from repro.crawler.crawl import Crawler
-from repro.dht.bootstrap import populate_routing_tables
 from repro.gateway.bridge import GatewayBridge
 from repro.gateway.logs import CacheTier
 from repro.ipns.resolver import IpnsPublisher, IpnsResolver, install_ipns_validator
 from repro.multiformats.peerid import PeerId
-from repro.node.host import IpfsNode
 from repro.simnet.latency import PeerClass, Region
 from repro.simnet.network import SimHost
 from repro.utils.rng import derive_rng

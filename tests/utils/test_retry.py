@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import ReproError
-from repro.simnet.sim import Future, Simulator
+from repro.simnet.sim import Future, Simulator, TimeoutError_
 from repro.utils.retry import RetryPolicy, retry
 from repro.utils.rng import derive_rng
 
@@ -136,6 +136,96 @@ class TestRetryDriver:
 
         assert sim.run_process(proc()) == "ok"
         assert seen == [(1, boom), (2, boom)]
+
+    def test_caller_budget_truncates_a_hanging_attempt(self):
+        sim = Simulator()
+
+        def hang(_attempt):
+            return Future()  # never settles
+
+        def proc():
+            return (yield from retry(
+                sim, derive_rng(1, "retry"), RetryPolicy(), hang,
+                deadline_s=2.0,
+            ))
+
+        with pytest.raises(TimeoutError_):
+            sim.run_process(proc())
+        assert sim.now == pytest.approx(2.0)
+
+    def test_tighter_of_caller_and_policy_deadline_wins(self):
+        def timed_out_at(policy_deadline, caller_deadline):
+            sim = Simulator()
+
+            def proc():
+                return (yield from retry(
+                    sim, derive_rng(1, "retry"),
+                    RetryPolicy(deadline_s=policy_deadline),
+                    lambda _attempt: Future(),
+                    deadline_s=caller_deadline,
+                ))
+
+            with pytest.raises(TimeoutError_):
+                sim.run_process(proc())
+            return sim.now
+
+        assert timed_out_at(10.0, 1.5) == pytest.approx(1.5)
+        assert timed_out_at(1.5, 10.0) == pytest.approx(1.5)
+
+    def test_last_attempt_is_truncated_to_the_remaining_budget(self):
+        sim = Simulator()
+        attempts = []
+
+        def factory(attempt):
+            attempts.append(attempt)
+            if attempt == 1:
+                return Future.failed_with(ReproError("boom"))
+            return Future()  # the re-attempt hangs
+
+        def proc():
+            return (yield from retry(
+                sim, derive_rng(1, "retry"),
+                RetryPolicy(max_attempts=3, base_delay_s=1.0),
+                factory,
+                deadline_s=2.5,
+            ))
+
+        with pytest.raises(TimeoutError_):
+            sim.run_process(proc())
+        # Fail at 0 s, back off 1 s, then the hanging attempt gets only
+        # the remaining 1.5 s — the whole operation lands on the budget.
+        assert attempts == [1, 2]
+        assert sim.now == pytest.approx(2.5)
+
+    def test_budget_exhausted_before_first_attempt(self):
+        sim = Simulator()
+        called = []
+
+        def proc():
+            return (yield from retry(
+                sim, derive_rng(1, "retry"), RetryPolicy(),
+                lambda attempt: called.append(attempt) or Future.resolved("ok"),
+                deadline_s=0.0,
+            ))
+
+        with pytest.raises(TimeoutError_, match="before first attempt"):
+            sim.run_process(proc())
+        assert called == []
+
+    def test_success_under_budget_is_unaffected(self):
+        sim = Simulator()
+        future = Future()
+        sim.schedule(1.0, lambda: future.resolve("ok"))
+
+        def proc():
+            return (yield from retry(
+                sim, derive_rng(1, "retry"), RetryPolicy(),
+                lambda _attempt: future,
+                deadline_s=5.0,
+            ))
+
+        assert sim.run_process(proc()) == "ok"
+        assert sim.now == pytest.approx(1.0)
 
     def test_decorrelated_delays_stay_within_bounds(self):
         policy = RetryPolicy(
