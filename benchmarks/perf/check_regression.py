@@ -1,0 +1,153 @@
+"""CI perf gate: compare a fresh benchmark run against the committed
+baseline in ``BENCH_kernel.json``.
+
+The suite runs ``--runs`` times (median per bench cancels scheduler
+noise); the *normalized* throughput — raw metric divided by the host's
+calibration-loop score, see :mod:`suite` — is compared against the
+baseline's ``ci_baseline`` entry, which cancels most machine-speed
+difference between the committing machine and the CI runner. A bench
+whose median normalized throughput falls more than ``--threshold``
+(default 25 %) below baseline fails the gate.
+
+Intentional slowdowns: pass ``--override`` (CI wires this to a
+``[perf-override]`` token in the head commit message or a
+``perf-override`` PR label) to report regressions without failing,
+then refresh the baseline with ``--update``.
+
+Exit codes: 0 ok / overridden, 1 regression, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from suite import run_suite  # noqa: E402
+
+
+def median_doc(profile: str, runs: int, verbose: bool) -> dict:
+    """Run the suite ``runs`` times; median value/norm per bench."""
+    docs = []
+    for i in range(runs):
+        if verbose:
+            print(f"-- run {i + 1}/{runs}", file=sys.stderr)
+        docs.append(run_suite(profile, verbose=verbose))
+    merged = json.loads(json.dumps(docs[0]))  # deep copy of the shape
+    for name, row in merged["results"].items():
+        row["value"] = statistics.median(
+            d["results"][name]["value"] for d in docs
+        )
+        row["norm"] = statistics.median(
+            d["results"][name]["norm"] for d in docs
+        )
+        row["runs"] = runs
+    merged["calibration_ops_per_s"] = statistics.median(
+        d["calibration_ops_per_s"] for d in docs
+    )
+    return merged
+
+
+def compare(measured: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression descriptions, empty when the gate is green."""
+    problems = []
+    base_results = baseline["results"]
+    for name, row in measured["results"].items():
+        base = base_results.get(name)
+        if base is None:
+            continue  # new bench: nothing to gate against yet
+        ratio = row["norm"] / base["norm"] if base["norm"] else float("inf")
+        marker = "REGRESSION" if ratio < 1.0 - threshold else "ok"
+        print(
+            f"  {name:28s} norm {row['norm']:12.6g} vs baseline "
+            f"{base['norm']:12.6g}  ({ratio:6.1%})  {marker}"
+        )
+        if ratio < 1.0 - threshold:
+            problems.append(
+                f"{name}: normalized throughput {ratio:.1%} of baseline "
+                f"(threshold {1.0 - threshold:.0%})"
+            )
+    missing = set(base_results) - set(measured["results"])
+    for name in sorted(missing):
+        problems.append(f"{name}: present in baseline but not measured")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(Path(__file__).resolve().parents[2] / "BENCH_kernel.json")
+    )
+    parser.add_argument("--profile", default="quick")
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated normalized-throughput drop")
+    parser.add_argument("--override", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured medians back as the "
+                             "new ci_baseline")
+    parser.add_argument("--output", default=None,
+                        help="also write the measured document (artifact)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    try:
+        baseline_doc = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    ci_baseline = baseline_doc.get("ci_baseline")
+    if not ci_baseline or "results" not in ci_baseline:
+        print(f"{baseline_path} has no ci_baseline entry", file=sys.stderr)
+        return 2
+    if ci_baseline.get("profile") != args.profile:
+        print(
+            f"baseline profile {ci_baseline.get('profile')!r} != "
+            f"requested {args.profile!r}; refusing to compare "
+            "different workloads",
+            file=sys.stderr,
+        )
+        return 2
+
+    measured = median_doc(args.profile, args.runs, verbose=not args.quiet)
+    if args.output:
+        Path(args.output).write_text(json.dumps(measured, indent=2) + "\n")
+
+    print(f"perf gate: {args.runs}-run median vs {baseline_path.name} "
+          f"(threshold {args.threshold:.0%})")
+    problems = compare(measured, ci_baseline, args.threshold)
+
+    if args.update:
+        baseline_doc["ci_baseline"] = {
+            "label": "refreshed baseline", **{
+                k: v for k, v in measured.items() if k != "schema"
+            }
+        }
+        baseline_path.write_text(
+            json.dumps(baseline_doc, indent=2) + "\n"
+        )
+        print(f"updated ci_baseline in {baseline_path}")
+
+    if problems:
+        print("\nperf regressions detected:")
+        for problem in problems:
+            print(f"  - {problem}")
+        if args.override:
+            print("override active: not failing the gate")
+            return 0
+        print("\nto land an intentional slowdown, add [perf-override] to the"
+              " commit message (or the perf-override PR label) and refresh"
+              " the baseline with --update")
+        return 1
+    print("perf gate green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Run the kernel performance bench suite and emit JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py                  # full
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --profile quick
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --profile scale \
+        --output bench-scale.json
+
+Refresh the committed baseline after an intentional performance change::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --output BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from suite import PROFILES, run_suite  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="simulation kernel benches")
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="full",
+        help="which bench subset to run (default: full)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the JSON document here (default: stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-bench progress"
+    )
+    args = parser.parse_args(argv)
+
+    document = run_suite(args.profile, verbose=not args.quiet)
+    text = json.dumps(document, indent=2) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

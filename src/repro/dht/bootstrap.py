@@ -66,27 +66,59 @@ def populate_routing_tables(
     keys = [key for key, _, _ in ordered]
     ids = [peer_id for _, peer_id, _ in ordered]
     reachable = [n.host.reachable for _, _, n in ordered]
+    # Ascending positions of live / stale servers. A bucket's live set
+    # is then a bisect slice of these instead of a comprehension over
+    # the whole bucket interval — bucket 0 spans half the keyspace, so
+    # the comprehensions made table fill quadratic in network size.
+    # Slicing preserves the exact ascending order the comprehensions
+    # produced, so rng.sample draws identical elements.
+    live_positions = [i for i, ok in enumerate(reachable) if ok]
+    stale_positions = [i for i, ok in enumerate(reachable) if not ok]
 
     for node in nodes:
-        own_int = int.from_bytes(key_for_peer(node.host.peer_id), "big")
+        own_int = node.host.peer_id.dht_key_int()
         cap = sample_cap if sample_cap is not None else node.routing_table.bucket_size
+        add = node.routing_table.add
+        # [cur_lo, cur_hi) tracks the servers sharing our first `bucket`
+        # key bits; bucket `bucket`'s interval is its sibling half, so
+        # one boundary bisect (bounded to the parent interval) per
+        # bucket replaces two over the whole key list.
+        cur_lo, cur_hi = 0, len(keys)
         for bucket in range(KEY_BITS):
+            if cur_hi - cur_lo <= cap:
+                # Every remaining peer shares >= bucket leading bits
+                # with us, so each deeper bucket's slice fits under
+                # `cap` and is inserted wholesale — same entries the
+                # per-bucket walk would add, without iterating the
+                # ~240 empty tail buckets.
+                for index in range(cur_lo, cur_hi):
+                    if keys[index] != own_int:
+                        add(ids[index])
+                break
             shift = KEY_BITS - bucket - 1
-            flipped_prefix = (own_int >> shift) ^ 1
-            low = flipped_prefix << shift
-            high = (flipped_prefix + 1) << shift
-            start = bisect.bisect_left(keys, low)
-            end = bisect.bisect_left(keys, high)
+            prefix = own_int >> shift
+            if prefix & 1:
+                mid = bisect.bisect_left(keys, prefix << shift, cur_lo, cur_hi)
+                start, end = cur_lo, mid
+                cur_lo = mid
+            else:
+                mid = bisect.bisect_left(keys, (prefix ^ 1) << shift, cur_lo, cur_hi)
+                start, end = mid, cur_hi
+                cur_hi = mid
             if start >= end:
-                if bucket > 0 and not keys[start - 1 if start else 0:]:
-                    break
                 continue
             population = range(start, end)
             if len(population) <= cap:
                 chosen = list(population)
             else:
-                live = [i for i in population if reachable[i]]
-                stale = [i for i in population if not reachable[i]]
+                live = live_positions[
+                    bisect.bisect_left(live_positions, start):
+                    bisect.bisect_left(live_positions, end)
+                ]
+                stale = stale_positions[
+                    bisect.bisect_left(stale_positions, start):
+                    bisect.bisect_left(stale_positions, end)
+                ]
                 n_stale = min(len(stale), int(cap * stale_fraction))
                 chosen = rng.sample(live, min(len(live), cap - n_stale))
                 chosen += rng.sample(stale, n_stale)
@@ -96,9 +128,5 @@ def populate_routing_tables(
                         leftovers, min(len(leftovers), cap - len(chosen))
                     )
             for index in chosen:
-                if ids[index] != node.host.peer_id:
-                    node.routing_table.add(ids[index])
-            if end - start <= 1 and bucket > KEY_BITS // 2:
-                # Deep buckets are empty from here on for any
-                # realistically-sized network.
-                break
+                if keys[index] != own_int:
+                    add(ids[index])

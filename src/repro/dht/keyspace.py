@@ -29,6 +29,12 @@ def key_for_peer(peer_id: PeerId) -> bytes:
     return peer_id.dht_key()
 
 
+def key_int_for_peer(peer_id: PeerId) -> int:
+    """The peer's DHT key as a big-endian integer (cached on the
+    PeerId): the form every XOR-distance comparison consumes."""
+    return peer_id.dht_key_int()
+
+
 def xor_distance(key_a: bytes, key_b: bytes) -> int:
     """Kademlia distance: the keys XORed, read as a big-endian int."""
     if len(key_a) != KEY_BYTES or len(key_b) != KEY_BYTES:

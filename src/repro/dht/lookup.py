@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.dht import rpc
-from repro.dht.keyspace import key_for_cid, key_for_peer
+from repro.dht.keyspace import key_for_cid, key_for_peer, key_int_for_peer
 from repro.multiformats.cid import Cid
 from repro.multiformats.peerid import PeerId
 from repro.simnet.sim import Future, TimeoutError_, any_of, with_timeout
@@ -125,7 +125,7 @@ class _Walk:
     def _add_candidate(self, peer_id: PeerId, depth: int) -> None:
         if peer_id == self.node.host.peer_id or peer_id in self.candidates:
             return
-        distance = int.from_bytes(key_for_peer(peer_id), "big") ^ self.target_int
+        distance = key_int_for_peer(peer_id) ^ self.target_int
         self.candidates[peer_id] = _Candidate(peer_id, distance, depth)
         self.stats.peers_discovered += 1
 

@@ -13,23 +13,13 @@ performance boost.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
+import heapq
 
-from repro.dht.keyspace import KEY_BITS, bucket_index, key_for_peer
+from repro.dht.keyspace import KEY_BITS, key_int_for_peer, key_for_peer
 from repro.multiformats.peerid import PeerId
 
 #: Bucket capacity and record replication factor (Section 2.3).
 K_BUCKET_SIZE = 20
-
-
-@dataclass(frozen=True)
-class TableEntry:
-    """A routing-table entry: the peer and its DHT key as an integer
-    (integer form makes the XOR metric a single machine operation)."""
-
-    peer_id: PeerId
-    key_int: int
 
 
 class RoutingTable:
@@ -51,13 +41,21 @@ class RoutingTable:
     ) -> None:
         self.own_id = own_id
         self.own_key = key_for_peer(own_id)
+        self.own_key_int = key_int_for_peer(own_id)
         self.bucket_size = bucket_size
         self.failure_threshold = max(1, failure_threshold)
-        self._buckets: list[OrderedDict[PeerId, TableEntry]] = [
-            OrderedDict() for _ in range(KEY_BITS)
-        ]
+        # Bucket dicts map peer -> cached DHT key int; insertion order
+        # doubles as the least-recently-seen order (a refresh re-inserts
+        # at the tail). Plain dicts keep insertion order and beat
+        # OrderedDict on both construction — tables allocate all 256
+        # buckets up front — and per-entry operations.
+        self._buckets: list[dict[PeerId, int]] = [{} for _ in range(KEY_BITS)]
         self._size = 0
         self._failures: dict[PeerId, int] = {}
+        #: flat ``(key_int, peer_id)`` snapshot of every entry, rebuilt
+        #: lazily after membership changes; :meth:`closest` scans this
+        #: single list instead of 256 bucket dicts.
+        self._flat: list[tuple[int, PeerId]] | None = None
         #: peers evicted by the failure score (degradation telemetry)
         self.evictions = 0
         #: optional circuit-breaker registry (anything with
@@ -76,7 +74,13 @@ class RoutingTable:
         return peer_id in self._buckets[self._bucket_for(peer_id)]
 
     def _bucket_for(self, peer_id: PeerId) -> int:
-        return bucket_index(self.own_key, key_for_peer(peer_id))
+        # Inline common_prefix_length on the cached integer keys: the
+        # XOR plus bit_length is the whole computation, with no byte
+        # conversions or hashing (both are cached on the PeerId).
+        distance = self.own_key_int ^ key_int_for_peer(peer_id)
+        if distance == 0:
+            return KEY_BITS - 1
+        return min(KEY_BITS - distance.bit_length(), KEY_BITS - 1)
 
     def add(self, peer_id: PeerId) -> bool:
         """Insert or refresh a peer; returns True if present afterwards.
@@ -85,15 +89,22 @@ class RoutingTable:
         """
         if peer_id == self.own_id:
             return False
-        bucket = self._buckets[self._bucket_for(peer_id)]
-        if peer_id in bucket:
-            bucket.move_to_end(peer_id)
+        key_int = key_int_for_peer(peer_id)
+        distance = self.own_key_int ^ key_int
+        index = (
+            KEY_BITS - 1 if distance == 0
+            else min(KEY_BITS - distance.bit_length(), KEY_BITS - 1)
+        )
+        bucket = self._buckets[index]
+        existing = bucket.pop(peer_id, None)
+        if existing is not None:
+            bucket[peer_id] = existing  # re-insert at the tail (refresh)
             return True
         if len(bucket) >= self.bucket_size:
             return False
-        key_int = int.from_bytes(key_for_peer(peer_id), "big")
-        bucket[peer_id] = TableEntry(peer_id, key_int)
+        bucket[peer_id] = key_int
         self._size += 1
+        self._flat = None
         return True
 
     def remove(self, peer_id: PeerId) -> None:
@@ -103,6 +114,7 @@ class RoutingTable:
         if peer_id in bucket:
             del bucket[peer_id]
             self._size -= 1
+            self._flat = None
 
     # -- failure scoring ---------------------------------------------------
 
@@ -129,27 +141,44 @@ class RoutingTable:
         """Current consecutive-failure count for ``peer_id``."""
         return self._failures.get(peer_id, 0)
 
+    def _flat_entries(self) -> list[tuple[int, PeerId]]:
+        flat = self._flat
+        if flat is None:
+            flat = [
+                (key_int, peer_id)
+                for bucket in self._buckets
+                for peer_id, key_int in bucket.items()
+            ]
+            self._flat = flat
+        return flat
+
     def closest(self, target_key: bytes, count: int = K_BUCKET_SIZE) -> list[PeerId]:
         """The ``count`` known peers closest to ``target_key`` by XOR.
 
         Routing tables hold O(k log n) entries, so an exact scan plus
-        partial sort is both correct and cheap.
+        partial sort is both correct and cheap. The scan runs over a
+        flat cached ``(key_int, peer_id)`` list in a single C-speed
+        comprehension — this is the hottest routing-table path (every
+        FIND_NODE handler calls it), and the distance/peer pairs form a
+        total order, so the selection is independent of scan order.
         """
-        import heapq
-
         target = int.from_bytes(target_key, "big")
-        entries = (
-            (entry.key_int ^ target, entry.peer_id)
-            for bucket in self._buckets
-            for entry in bucket.values()
-        )
         if self.breakers is not None:
-            entries = (
-                (distance, peer_id)
-                for distance, peer_id in entries
-                if not self.breakers.is_open(peer_id)
-            )
-        return [peer_id for _, peer_id in heapq.nsmallest(count, entries)]
+            is_open = self.breakers.is_open
+            pairs = [
+                (key_int ^ target, peer_id)
+                for key_int, peer_id in self._flat_entries()
+                if not is_open(peer_id)
+            ]
+        else:
+            pairs = [
+                (key_int ^ target, peer_id)
+                for key_int, peer_id in self._flat_entries()
+            ]
+        if count >= len(pairs):
+            pairs.sort()
+            return [peer_id for _, peer_id in pairs]
+        return [peer_id for _, peer_id in heapq.nsmallest(count, pairs)]
 
     def peers(self) -> list[PeerId]:
         """All table entries (used by the crawler's bucket dumps)."""

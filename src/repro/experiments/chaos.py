@@ -25,6 +25,7 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from repro.dht.lookup import LookupConfig
+from repro.experiments.runner import Cell, run_cells
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.node.config import NodeConfig
 from repro.obs import Observability
@@ -224,15 +225,54 @@ def _run_level(
 def run_chaos_experiment(
     config: ChaosConfig | None = None,
     obs: Observability | None = None,
+    workers: int = 1,
 ) -> ChaosResults:
     """Sweep the configured intensities; one fresh world per level.
 
     With an :class:`~repro.obs.Observability`, the tracer is carried
     across the per-level worlds (clock rebinding included) so one trace
-    stream covers the whole sweep.
+    stream covers the whole sweep — a shared tracer cannot cross
+    process boundaries, so passing one forces ``workers`` to 1.
+
+    Levels are independent cells (each derives its RNGs from the seed
+    and its own intensity), so ``workers > 1`` shards them across
+    processes with results identical to the sequential sweep.
     """
     config = config if config is not None else ChaosConfig()
     results = ChaosResults(config=config)
-    for intensity in config.intensities:
-        results.levels.append(_run_level(config, intensity, obs))
+    if obs is not None:
+        for intensity in config.intensities:
+            results.levels.append(_run_level(config, intensity, obs))
+        return results
+    cells = [
+        Cell(f"chaos@{intensity:g}", _run_level, (config, intensity))
+        for intensity in config.intensities
+    ]
+    results.levels.extend(run_cells(cells, workers))
     return results
+
+
+def run_chaos_pair(
+    config: ChaosConfig,
+    workers: int = 1,
+) -> tuple[ChaosResults, ChaosResults]:
+    """Baseline (fire-and-forget) and retry arms as one fan-out.
+
+    With ``workers > 1`` every (arm, intensity) cell shares one pool,
+    so both sweeps' worlds build concurrently; results are reassembled
+    in the order the sequential pair of sweeps produces.
+    """
+    baseline_config = dataclasses.replace(config, with_retries=False)
+    n = len(config.intensities)
+    cells = [
+        Cell(f"chaos[base]@{i:g}", _run_level, (baseline_config, i))
+        for i in config.intensities
+    ] + [
+        Cell(f"chaos[retry]@{i:g}", _run_level, (config, i))
+        for i in config.intensities
+    ]
+    levels = run_cells(cells, workers)
+    return (
+        ChaosResults(config=baseline_config, levels=levels[:n]),
+        ChaosResults(config=config, levels=levels[n:]),
+    )

@@ -37,6 +37,7 @@ from repro.experiments.chaos import (
 )
 from repro.blockstore.memory import MemoryBlockstore
 from repro.dht.keyspace import key_for_cid, key_for_peer, xor_distance
+from repro.experiments.runner import Cell, run_cells
 from repro.experiments.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.merkledag.builder import DagBuilder
 from repro.node.config import NodeConfig
@@ -308,10 +309,46 @@ def _run_level(
 def run_chaos_recovery_experiment(
     config: ChaosRecoveryConfig | None = None,
     obs: Observability | None = None,
+    workers: int = 1,
 ) -> ChaosRecoveryResults:
-    """Sweep the configured intensities; one fresh world per level."""
+    """Sweep the configured intensities; one fresh world per level.
+
+    Levels are independent cells (RNGs derived from the seed plus the
+    level's own intensity and arm), so ``workers > 1`` shards them
+    across processes with results identical to the sequential sweep.
+    A shared tracer cannot cross process boundaries, so passing
+    ``obs`` forces the sequential path.
+    """
     config = config if config is not None else ChaosRecoveryConfig()
     results = ChaosRecoveryResults(config=config)
-    for intensity in config.intensities:
-        results.levels.append(_run_level(config, intensity, obs))
+    if obs is not None:
+        for intensity in config.intensities:
+            results.levels.append(_run_level(config, intensity, obs))
+        return results
+    cells = [
+        Cell(f"chaos-recovery@{intensity:g}", _run_level, (config, intensity))
+        for intensity in config.intensities
+    ]
+    results.levels.extend(run_cells(cells, workers))
     return results
+
+
+def run_chaos_recovery_pair(
+    config: ChaosRecoveryConfig,
+    workers: int = 1,
+) -> tuple[ChaosRecoveryResults, ChaosRecoveryResults]:
+    """Baseline (retries-only) and resilient arms as one fan-out."""
+    baseline_config = dataclasses.replace(config, with_resilience=False)
+    n = len(config.intensities)
+    cells = [
+        Cell(f"chaos-recovery[base]@{i:g}", _run_level, (baseline_config, i))
+        for i in config.intensities
+    ] + [
+        Cell(f"chaos-recovery[res]@{i:g}", _run_level, (config, i))
+        for i in config.intensities
+    ]
+    levels = run_cells(cells, workers)
+    return (
+        ChaosRecoveryResults(config=baseline_config, levels=levels[:n]),
+        ChaosRecoveryResults(config=config, levels=levels[n:]),
+    )

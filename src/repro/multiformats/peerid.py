@@ -9,7 +9,6 @@ the DHT keyspace (via SHA-256 of the PeerID bytes, see Section 2.3).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
 from functools import total_ordering
 
 from repro.errors import DecodeError
@@ -18,15 +17,33 @@ from repro.utils.baseenc import base58btc_decode, base58btc_encode
 
 
 @total_ordering
-@dataclass(frozen=True)
 class PeerId:
     """The hash of a peer's public key, rendered as base58btc.
 
     Equality, ordering, and hashing all operate on the underlying
     multihash bytes so PeerIds can key routing tables and address books.
+
+    PeerIds are immutable and sit on every hot path of the simulator
+    (dict keys of routing tables, connection maps and walks), so the
+    derived forms — encoded bytes, the SHA-256 DHT key and its integer
+    form, the base58 text, the hash — are each computed once and cached.
+    The hash value is kept identical to the previous frozen-dataclass
+    implementation (``hash((multihash,))``) so that set iteration
+    orders, and with them every seeded experiment, are unchanged.
     """
 
-    multihash: Multihash
+    __slots__ = ("multihash", "_bytes", "_hash", "_dht_key", "_key_int", "_b58")
+
+    def __init__(self, multihash: Multihash) -> None:
+        object.__setattr__(self, "multihash", multihash)
+        object.__setattr__(self, "_bytes", None)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_dht_key", None)
+        object.__setattr__(self, "_key_int", None)
+        object.__setattr__(self, "_b58", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PeerId is immutable")
 
     @classmethod
     def from_public_key(cls, public_key_bytes: bytes) -> "PeerId":
@@ -42,12 +59,20 @@ class PeerId:
             raise DecodeError(f"invalid PeerID {text!r}: {exc}") from exc
 
     def encode(self) -> str:
-        """Base58btc textual form."""
-        return base58btc_encode(self.multihash.encode())
+        """Base58btc textual form (cached)."""
+        text = self._b58
+        if text is None:
+            text = base58btc_encode(self.to_bytes())
+            object.__setattr__(self, "_b58", text)
+        return text
 
     def to_bytes(self) -> bytes:
         """Binary multihash form (what gets hashed into the DHT key)."""
-        return self.multihash.encode()
+        data = self._bytes
+        if data is None:
+            data = self.multihash.encode()
+            object.__setattr__(self, "_bytes", data)
+        return data
 
     def dht_key(self) -> bytes:
         """SHA-256 of the binary PeerID: the peer's DHT coordinate.
@@ -56,7 +81,21 @@ class PeerId:
         space by using the SHA256 hashes of their binary
         representations as indexing keys."
         """
-        return hashlib.sha256(self.to_bytes()).digest()
+        key = self._dht_key
+        if key is None:
+            key = hashlib.sha256(self.to_bytes()).digest()
+            object.__setattr__(self, "_dht_key", key)
+        return key
+
+    def dht_key_int(self) -> int:
+        """The DHT key as a big-endian integer — the form the XOR
+        metric consumes. One routing-table ``closest`` scan does this
+        conversion for every entry, so it is cached alongside the key."""
+        key_int = self._key_int
+        if key_int is None:
+            key_int = int.from_bytes(self.dht_key(), "big")
+            object.__setattr__(self, "_key_int", key_int)
+        return key_int
 
     def matches_public_key(self, public_key_bytes: bytes) -> bool:
         """Verify a handshake public key against this PeerID."""
@@ -68,7 +107,25 @@ class PeerId:
     def __repr__(self) -> str:
         return f"PeerId({self.encode()!r})"
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PeerId):
+            return self.multihash == other.multihash
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            # Same value the frozen-dataclass implementation produced.
+            value = hash((self.multihash,))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def __lt__(self, other: object) -> bool:
         if not isinstance(other, PeerId):
             return NotImplemented
         return self.to_bytes() < other.to_bytes()
+
+    def __reduce__(self):
+        # Rebuild through __init__ (caches re-derive lazily); the
+        # default slots protocol would trip over the immutability guard.
+        return (PeerId, (self.multihash,))

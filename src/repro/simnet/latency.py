@@ -140,6 +140,44 @@ _CLASS_PROFILES: dict[PeerClass, ClassProfile] = {
 }
 
 
+# Fast-path lookup tables, derived once at import time. The latency
+# model is consulted several times per RPC, and building a frozenset
+# per call (the symmetric-pair key) plus chaining profile dict lookups
+# dominated `one_way` in profiles. Every derived value below reproduces
+# the original arithmetic term-for-term, so sampled delays are
+# bit-identical to the pre-optimization model.
+
+#: (a, b) tuple (both orders) -> RTT in ms.
+_RTT_PAIR_MS: dict[tuple[Region, Region], float] = {}
+for _pair, _ms in _RTT_MS.items():
+    _members = tuple(_pair)
+    _a, _b = (_members[0], _members[-1])
+    _RTT_PAIR_MS[(_a, _b)] = _ms
+    _RTT_PAIR_MS[(_b, _a)] = _ms
+
+#: (class_a, class_b) -> summed last-mile access latency in ms.
+_ACCESS_SUM_MS: dict[tuple[PeerClass, PeerClass], float] = {
+    (a, b): _CLASS_PROFILES[a].access_latency_ms + _CLASS_PROFILES[b].access_latency_ms
+    for a in PeerClass
+    for b in PeerClass
+}
+
+#: (sender, receiver) -> bottleneck bandwidth in bytes/s.
+_RATE_MIN: dict[tuple[PeerClass, PeerClass], float] = {
+    (a, b): min(
+        _CLASS_PROFILES[a].bandwidth_bytes_per_s,
+        _CLASS_PROFILES[b].bandwidth_bytes_per_s,
+    )
+    for a in PeerClass
+    for b in PeerClass
+}
+
+#: peer class -> uniform processing-delay bounds.
+_PROCESSING_BOUNDS: dict[PeerClass, tuple[float, float]] = {
+    cls: _CLASS_PROFILES[cls].processing_delay_s for cls in PeerClass
+}
+
+
 class LatencyModel:
     """Samples one-way delays and transfer times between peers.
 
@@ -150,10 +188,14 @@ class LatencyModel:
 
     def __init__(self, jitter: tuple[float, float] = (0.85, 1.35)) -> None:
         self._jitter = jitter
+        self._jitter_low, self._jitter_high = jitter
+        #: (region_a, class_a, region_b, class_b) -> rtt/2 + access sum
+        #: in ms, filled lazily (729 combinations at most).
+        self._base_ms: dict[tuple, float] = {}
 
     def base_rtt_s(self, a: Region, b: Region) -> float:
         """Deterministic region-pair RTT in seconds (no jitter)."""
-        return _RTT_MS[frozenset((a, b))] / 1000.0
+        return _RTT_PAIR_MS[(a, b)] / 1000.0
 
     def one_way(
         self,
@@ -164,28 +206,27 @@ class LatencyModel:
         rng: random.Random,
     ) -> float:
         """One-way packet latency in seconds, including last miles."""
-        rtt = _RTT_MS[frozenset((region_a, region_b))]
-        access = (
-            _CLASS_PROFILES[class_a].access_latency_ms
-            + _CLASS_PROFILES[class_b].access_latency_ms
-        )
-        jitter = rng.uniform(*self._jitter)
-        return (rtt / 2.0 + access) * jitter / 1000.0
+        key = (region_a, class_a, region_b, class_b)
+        base = self._base_ms.get(key)
+        if base is None:
+            base = (
+                _RTT_PAIR_MS[(region_a, region_b)] / 2.0
+                + _ACCESS_SUM_MS[(class_a, class_b)]
+            )
+            self._base_ms[key] = base
+        return base * rng.uniform(self._jitter_low, self._jitter_high) / 1000.0
 
     def processing_delay(self, peer_class: PeerClass, rng: random.Random) -> float:
         """Server-side handling delay for one RPC, in seconds."""
-        low, high = _CLASS_PROFILES[peer_class].processing_delay_s
+        low, high = _PROCESSING_BOUNDS[peer_class]
         return rng.uniform(low, high)
 
     def transfer_time(
         self, size_bytes: int, sender: PeerClass, receiver: PeerClass, rng: random.Random
     ) -> float:
         """Seconds to push ``size_bytes`` (bottleneck of both uplinks)."""
-        rate = min(
-            _CLASS_PROFILES[sender].bandwidth_bytes_per_s,
-            _CLASS_PROFILES[receiver].bandwidth_bytes_per_s,
-        )
-        return size_bytes / rate * rng.uniform(*self._jitter)
+        rate = _RATE_MIN[(sender, receiver)]
+        return size_bytes / rate * rng.uniform(self._jitter_low, self._jitter_high)
 
     @staticmethod
     def class_profile(peer_class: PeerClass) -> ClassProfile:

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Callable, Generator, Iterable
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SimulationError
+
+#: Recycled event cells kept per simulator (see :meth:`Simulator.schedule`).
+_FREE_LIST_CAP = 4096
 
 
 class Future:
@@ -31,7 +33,9 @@ class Future:
     def __init__(self) -> None:
         self._state = Future._PENDING
         self._value: Any = None
-        self._callbacks: list[Callable[[Future], None]] = []
+        # Lazily allocated: most futures get at most one callback, and
+        # short-lived ones (pre-resolved fast paths) get none.
+        self._callbacks: list[Callable[[Future], None]] | None = None
 
     @property
     def done(self) -> bool:
@@ -63,13 +67,19 @@ class Future:
             return  # late settlement (e.g. a timed-out RPC reply) is ignored
         self._state = state
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        # Release the callback list before dispatch: settled futures
+        # must not retain closures (they capture hosts, walks, whole
+        # scenarios) for as long as the future object itself lives.
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
     def add_callback(self, callback: Callable[["Future"], None]) -> None:
-        if self.done:
+        if self._state != Future._PENDING:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -86,28 +96,41 @@ class Future:
         return future
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# An event is a plain 3-slot list ``[time, sequence, callback]``. The
+# heap orders lists lexicographically: element 0 (time) first, then
+# element 1 (the unique monotonic sequence) — the callback at element 2
+# is never compared. This is the same (time, sequence) ordering the old
+# dataclass encoded, without a generated ``__lt__`` in the hot path.
+#
+# Cancellation is lazy deletion: the callback slot is set to ``None``
+# and the heap entry is skipped (and recycled) when it surfaces. This
+# releases the callback closure *immediately* on cancel — important for
+# ``with_timeout``, which cancels a timer on every RPC that completes
+# in time — instead of pinning it until the heap drains past its slot.
 
 
 class Timer:
     """Handle for a scheduled callback; ``cancel()`` prevents firing."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sequence", "_cancelled")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: list, sequence: int) -> None:
         self._event = event
+        self._sequence = sequence
+        self._cancelled = False
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._cancelled = True
+        event = self._event
+        # The sequence guard makes stale handles harmless: once the
+        # event cell has been recycled for a *newer* timer, cancelling
+        # this one must not touch the new occupant.
+        if event[1] == self._sequence:
+            event[2] = None
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._cancelled
 
 
 class TimeoutError_(Exception):
@@ -142,6 +165,9 @@ class Process:
     def _start(self) -> None:
         self._step(None, None)
 
+    def _resume(self) -> None:
+        self._step(None, None)
+
     def _step(self, value: Any, error: BaseException | None) -> None:
         try:
             if error is not None:
@@ -149,23 +175,25 @@ class Process:
             else:
                 yielded = self._generator.send(value)
         except StopIteration as stop:
+            self._generator = None  # release the finished frame early
             self.future.resolve(stop.value)
             return
         except Exception as exc:  # noqa: BLE001 - process boundary
+            self._generator = None
             self.future.fail(exc)
             return
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:
-        if yielded is None:
-            self._sim.schedule(0.0, lambda: self._step(None, None))
+        if isinstance(yielded, Future):
+            yielded.add_callback(self._on_future)
+        elif yielded is None:
+            self._sim.schedule(0.0, self._resume)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 self._step(None, SimulationError(f"negative sleep: {yielded}"))
                 return
-            self._sim.schedule(float(yielded), lambda: self._step(None, None))
-        elif isinstance(yielded, Future):
-            yielded.add_callback(self._on_future)
+            self._sim.schedule(float(yielded), self._resume)
         elif isinstance(yielded, Process):
             yielded.future.add_callback(self._on_future)
         else:
@@ -183,9 +211,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: list[_Event] = []
+        self._queue: list[list] = []
         self._sequence = 0
         self._processed = 0
+        #: free-list of recycled event cells — scheduling is the single
+        #: hottest allocation site of the whole simulator, and churny
+        #: workloads (with_timeout per RPC) schedule and cancel millions
+        #: of timers; reusing the 3-slot lists keeps the allocator and
+        #: GC out of the inner loop.
+        self._free: list[list] = []
 
     @property
     def events_processed(self) -> int:
@@ -195,10 +229,18 @@ class Simulator:
         """Run ``callback`` ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        event = _Event(self.now + delay, self._sequence, callback)
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event[0] = self.now + delay
+            event[1] = sequence
+            event[2] = callback
+        else:
+            event = [self.now + delay, sequence, callback]
         heapq.heappush(self._queue, event)
-        return Timer(event)
+        return Timer(event, sequence)
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a process immediately (its first step runs inline)."""
@@ -210,17 +252,24 @@ class Simulator:
         """Process events until the queue drains, ``until`` is reached,
         or ``max_events`` have run (a runaway-loop backstop)."""
         count = 0
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time > until:
+        queue = self._queue
+        free = self._free
+        heappop = heapq.heappop
+        while queue:
+            event = queue[0]
+            if until is not None and event[0] > until:
                 self.now = until
                 return
-            heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
+            heappop(queue)
+            callback = event[2]
+            event[2] = None
+            if len(free) < _FREE_LIST_CAP:
+                free.append(event)
+            if callback is None:
+                continue  # cancelled: lazy deletion
+            self.now = event[0]
             self._processed += 1
-            event.callback()
+            callback()
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(f"exceeded {max_events} events")
@@ -239,19 +288,27 @@ class Simulator:
         """
         deadline = None if timeout is None else self.now + timeout
         process = self.spawn(generator)
-        while not process.future.done:
-            if not self._queue:
+        future = process.future
+        queue = self._queue
+        free = self._free
+        heappop = heapq.heappop
+        while future._state == Future._PENDING:
+            if not queue:
                 raise SimulationError("process did not complete (deadlock)")
-            event = self._queue[0]
-            if deadline is not None and event.time > deadline:
+            event = queue[0]
+            if deadline is not None and event[0] > deadline:
                 raise SimulationError("process did not complete (timeout)")
-            heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
+            heappop(queue)
+            callback = event[2]
+            event[2] = None
+            if len(free) < _FREE_LIST_CAP:
+                free.append(event)
+            if callback is None:
+                continue  # cancelled: lazy deletion
+            self.now = event[0]
             self._processed += 1
-            event.callback()
-        return process.future.result()
+            callback()
+        return future.result()
 
 
 def sleep(seconds: float) -> Generator:

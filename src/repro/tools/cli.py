@@ -18,11 +18,15 @@ import argparse
 import dataclasses
 import sys
 
-from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
+from repro.experiments.chaos import (
+    ChaosConfig,
+    run_chaos_experiment,
+    run_chaos_pair,
+)
 from repro.experiments.chaos_recovery import (
     ChaosRecoveryConfig,
     full_resilience_config,
-    run_chaos_recovery_experiment,
+    run_chaos_recovery_pair,
 )
 from repro.experiments.deployment import (
     CrawlCampaignConfig,
@@ -137,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write per-level JSONL records")
     chaos.add_argument("--trace", metavar="FILE", default=None,
                        help="record sim-time spans and write the JSONL trace")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharding (arm, intensity) "
+                            "cells; output is identical for any value "
+                            "(ignored with --trace, which needs one "
+                            "process)")
     _add_resilience_flags(chaos)
 
     recovery = sub.add_parser(
@@ -154,6 +163,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                "per level (only fallbacks can win these)")
     recovery.add_argument("--export", metavar="FILE", default=None,
                           help="write per-level JSONL records")
+    recovery.add_argument("--workers", type=int, default=1,
+                          help="worker processes sharding (arm, intensity) "
+                               "cells; output is identical for any value")
 
     trace = sub.add_parser(
         "trace", help="traced perf run with per-phase latency breakdown"
@@ -277,11 +289,17 @@ def _cmd_chaos(args) -> None:
         retrievals_per_level=args.retrievals,
         resilience=_resilience_from_args(args),
     )
-    obs = Observability() if args.trace else None
-    baseline = run_chaos_experiment(
-        dataclasses.replace(config, with_retries=False), obs=obs
-    )
-    resilient = run_chaos_experiment(config, obs=obs)
+    if args.trace:
+        # A shared tracer can't cross process boundaries; trace runs
+        # are single-process by construction.
+        obs = Observability()
+        baseline = run_chaos_experiment(
+            dataclasses.replace(config, with_retries=False), obs=obs
+        )
+        resilient = run_chaos_experiment(config, obs=obs)
+    else:
+        obs = None
+        baseline, resilient = run_chaos_pair(config, workers=args.workers)
 
     def fmt_pcts(level) -> str:
         pcts = level.latency_percentiles()
@@ -323,10 +341,7 @@ def _cmd_chaos_recovery(args) -> None:
         retrievals_per_level=args.retrievals,
         unannounced_retrievals=args.unannounced,
     )
-    baseline = run_chaos_recovery_experiment(
-        dataclasses.replace(config, with_resilience=False)
-    )
-    resilient = run_chaos_recovery_experiment(config)
+    baseline, resilient = run_chaos_recovery_pair(config, workers=args.workers)
 
     def fmt_pcts(level) -> str:
         pcts = level.latency_percentiles()

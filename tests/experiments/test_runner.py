@@ -1,0 +1,76 @@
+"""The multiprocess cell runner: ordering, errors, and equivalence."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.chaos import ChaosConfig, run_chaos_experiment
+from repro.experiments.runner import Cell, CellError, run_cells, sweep_cells
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"cell {x} exploded")
+
+
+class TestRunCells:
+    def test_inline_preserves_order(self):
+        cells = [Cell(f"c{i}", _square, (i,)) for i in range(5)]
+        assert run_cells(cells, workers=1) == [0, 1, 4, 9, 16]
+
+    def test_pool_matches_inline(self):
+        cells = [Cell(f"c{i}", _square, (i,)) for i in range(7)]
+        assert run_cells(cells, workers=3) == run_cells(cells, workers=1)
+
+    def test_single_cell_runs_inline_even_with_workers(self):
+        # No pool spin-up cost for a one-cell "sweep".
+        assert run_cells([Cell("only", _square, (6,))], workers=8) == [36]
+
+    def test_empty(self):
+        assert run_cells([], workers=4) == []
+
+    def test_inline_error_carries_label(self):
+        cells = [Cell("ok", _square, (2,)), Cell("bad", _boom, (7,))]
+        with pytest.raises(CellError, match="'bad'"):
+            run_cells(cells, workers=1)
+
+    def test_pool_error_carries_label(self):
+        cells = [Cell(f"c{i}", _square, (i,)) for i in range(3)]
+        cells.append(Cell("bad", _boom, (9,)))
+        with pytest.raises(CellError, match="'bad'"):
+            run_cells(cells, workers=2)
+
+
+class TestSweepCells:
+    def test_arm_major_order(self):
+        cells = sweep_cells("s", _square, ["cfgA", "cfgB"], [1, 2])
+        assert [c.args for c in cells] == [
+            ("cfgA", 1), ("cfgA", 2), ("cfgB", 1), ("cfgB", 2),
+        ]
+        assert cells[0].label == "s[0]@1"
+        assert cells[3].label == "s[1]@2"
+
+
+class TestChaosSharding:
+    """The acceptance property: worker count never changes results."""
+
+    CONFIG = ChaosConfig(
+        seed=7, n_peers=60, intensities=(0.0, 0.3), retrievals_per_level=2
+    )
+
+    def test_workers_do_not_change_results(self):
+        serial = run_chaos_experiment(self.CONFIG, workers=1)
+        sharded = run_chaos_experiment(self.CONFIG, workers=2)
+        assert dataclasses.asdict(serial) == dataclasses.asdict(sharded)
+
+    def test_level_results_pickle_roundtrip(self):
+        import pickle
+
+        result = run_chaos_experiment(self.CONFIG, workers=1)
+        clone = pickle.loads(pickle.dumps(result))
+        assert dataclasses.asdict(clone) == dataclasses.asdict(result)
