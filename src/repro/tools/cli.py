@@ -52,6 +52,11 @@ from repro.obs import (
 from repro.tools import export
 from repro.utils.rng import derive_rng
 from repro.utils.stats import Cdf
+from repro.validation.conformance import (
+    config_for_tier,
+    run_conformance,
+    write_fidelity_artifact,
+)
 from repro.workloads.gateway_trace import GatewayTraceConfig
 from repro.workloads.population import PopulationConfig, generate_population
 
@@ -180,6 +185,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="divide the 7.1M-request day by this")
     gateway.add_argument("--export", metavar="FILE", default=None,
                          help="write the access-log CSV")
+
+    validate = sub.add_parser(
+        "validate",
+        help="paper-fidelity conformance: grade the reproduction "
+             "against the paper's reported numbers",
+    )
+    validate.add_argument("--tier", choices=("quick", "full"),
+                          default="quick",
+                          help="quick = CI scales, full = nightly scales")
+    validate.add_argument("--workers", type=int, default=1,
+                          help="worker processes sharding the three "
+                               "dataset cells; output is identical for "
+                               "any value")
+    validate.add_argument("--export", metavar="FILE", default=None,
+                          help="write the fidelity JSON artifact "
+                               "(BENCH_fidelity.json style)")
     return parser
 
 
@@ -440,6 +461,17 @@ def _cmd_gateway(args) -> None:
         print(f"wrote {rows} log rows to {args.export}")
 
 
+def _cmd_validate(args) -> int:
+    """Graded paper-fidelity report; exit 1 when any metric FAILs."""
+    config = config_for_tier(args.tier, seed=args.seed)
+    report = run_conformance(config, workers=args.workers)
+    print(report.render_text())
+    if args.export:
+        count = write_fidelity_artifact(report, args.export)
+        print(f"\nwrote {count} graded metrics to {args.export}")
+    return 1 if report.failed() else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -450,9 +482,9 @@ def main(argv: list[str] | None = None) -> int:
         "chaos-recovery": _cmd_chaos_recovery,
         "gateway": _cmd_gateway,
         "trace": _cmd_trace,
+        "validate": _cmd_validate,
     }
-    handlers[args.command](args)
-    return 0
+    return handlers[args.command](args) or 0
 
 
 if __name__ == "__main__":

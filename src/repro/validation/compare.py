@@ -1,0 +1,231 @@
+"""Statistical comparators for grading measurements against the paper.
+
+Every conformance check reduces to one of four primitives:
+
+- :func:`grade_relative_error` — scalar vs. reported scalar within a
+  relative-error band (Table 4 percentiles, Fig 5 shares, ...);
+- :func:`grade_at_least` — one-sided floors the paper states as bounds
+  ("combined cache hit rate > 80 %", "all retrievals succeeded");
+- :func:`ks_against_reference` / :func:`grade_distance` — the
+  Kolmogorov-Smirnov distance between measured samples and a digitized
+  paper CDF (Fig 9d);
+- :func:`percentile_band` — a percentile of raw samples graded against
+  a reported value (a relative-error band over an order statistic).
+
+All primitives are pure and reusable by any experiment; the registry
+in :mod:`repro.validation.targets` binds them to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.stats import percentile
+
+
+class Grade(str, Enum):
+    """Conformance verdict for one metric."""
+
+    PASS = "PASS"  # within the pass tolerance of the paper's number
+    WARN = "WARN"  # outside pass but within the warn band
+    FAIL = "FAIL"  # outside both bands
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+
+_SEVERITY = {Grade.PASS: 0, Grade.WARN: 1, Grade.FAIL: 2}
+
+
+def worst_grade(grades: Sequence[Grade]) -> Grade:
+    """The most severe grade of a collection (PASS for an empty one)."""
+    worst = Grade.PASS
+    for grade in grades:
+        if grade.severity > worst.severity:
+            worst = grade
+    return worst
+
+
+def _check_tolerances(pass_tol: float, warn_tol: float) -> None:
+    if not 0.0 <= pass_tol <= warn_tol:
+        raise ValueError(
+            f"tolerances must satisfy 0 <= pass ({pass_tol}) <= warn ({warn_tol})"
+        )
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (expected must be nonzero)."""
+    if expected == 0:
+        raise ValueError("relative error undefined for expected == 0")
+    return abs(measured - expected) / abs(expected)
+
+
+def grade_relative_error(
+    measured: float,
+    expected: float,
+    pass_tol: float,
+    warn_tol: float,
+) -> tuple[float, Grade]:
+    """Grade a scalar against the paper's value by relative error.
+
+    Monotone in the tolerances: widening either band never makes the
+    grade worse (the property tests pin this down).
+    """
+    _check_tolerances(pass_tol, warn_tol)
+    error = relative_error(measured, expected)
+    if error <= pass_tol:
+        return error, Grade.PASS
+    if error <= warn_tol:
+        return error, Grade.WARN
+    return error, Grade.FAIL
+
+
+def grade_at_least(
+    measured: float, floor: float, warn_slack: float
+) -> tuple[float, Grade]:
+    """Grade against a one-sided floor the paper reports as a bound.
+
+    Anything at or above ``floor`` passes with error 0; a shortfall is
+    graded by its relative size against ``warn_slack``.
+    """
+    if floor <= 0:
+        raise ValueError(f"floor must be positive, got {floor}")
+    if warn_slack < 0:
+        raise ValueError(f"warn slack must be non-negative, got {warn_slack}")
+    shortfall = max(0.0, (floor - measured) / floor)
+    if shortfall == 0.0:
+        return 0.0, Grade.PASS
+    if shortfall <= warn_slack:
+        return shortfall, Grade.WARN
+    return shortfall, Grade.FAIL
+
+
+def grade_distance(
+    distance: float, pass_max: float, warn_max: float
+) -> tuple[float, Grade]:
+    """Grade a distribution distance (already in [0, 1]) against caps."""
+    _check_tolerances(pass_max, warn_max)
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if distance <= pass_max:
+        return distance, Grade.PASS
+    if distance <= warn_max:
+        return distance, Grade.WARN
+    return distance, Grade.FAIL
+
+
+@dataclass(frozen=True)
+class PercentileCheck:
+    """Result of grading one percentile of raw samples."""
+
+    measured: float
+    error: float
+    grade: Grade
+
+
+def percentile_band(
+    samples: Sequence[float],
+    q: float,
+    expected: float,
+    pass_tol: float,
+    warn_tol: float,
+) -> PercentileCheck:
+    """Grade the ``q``-th percentile of ``samples`` against ``expected``.
+
+    Scale-invariant: scaling samples and expectation by a common
+    positive factor leaves the error and grade unchanged (percentiles
+    are positively homogeneous; relative error cancels the factor).
+    """
+    measured = percentile(samples, q)
+    error, grade = grade_relative_error(measured, expected, pass_tol, warn_tol)
+    return PercentileCheck(measured=measured, error=error, grade=grade)
+
+
+# --------------------------------------------------------------------------
+# CDF distances
+# --------------------------------------------------------------------------
+
+
+def ks_statistic(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic sup |F_a(x) - F_b(x)|.
+
+    Symmetric, zero iff the samples induce the same empirical CDF,
+    and bounded by 1.
+    """
+    if not a or not b:
+        raise ValueError("KS statistic of empty sample set")
+    sa, sb = sorted(a), sorted(b)
+    na, nb = len(sa), len(sb)
+    distance = 0.0
+    for x in sa:
+        gap = abs(bisect.bisect_right(sa, x) / na - bisect.bisect_right(sb, x) / nb)
+        if gap > distance:
+            distance = gap
+    for x in sb:
+        gap = abs(bisect.bisect_right(sa, x) / na - bisect.bisect_right(sb, x) / nb)
+        if gap > distance:
+            distance = gap
+    return distance
+
+
+@dataclass(frozen=True)
+class ReferenceCdf:
+    """A digitized paper CDF: increasing (value, cumulative-p) anchors.
+
+    Evaluation is piecewise linear between anchors, 0 below the first
+    and the last anchor's probability above the last — the standard
+    reading of points lifted off a published figure.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a reference CDF needs at least two anchors")
+        xs = [x for x, _ in self.points]
+        ps = [p for _, p in self.points]
+        if sorted(xs) != xs or sorted(ps) != ps:
+            raise ValueError("reference CDF anchors must be non-decreasing")
+        if not (0.0 <= ps[0] and ps[-1] <= 1.0):
+            raise ValueError("reference CDF probabilities must lie in [0, 1]")
+
+    def probability_at(self, x: float) -> float:
+        xs = [px for px, _ in self.points]
+        ps = [pp for _, pp in self.points]
+        if x < xs[0]:
+            return 0.0
+        if x >= xs[-1]:
+            return ps[-1]
+        index = bisect.bisect_right(xs, x)
+        x0, p0 = self.points[index - 1]
+        x1, p1 = self.points[index]
+        if x1 == x0:
+            return p1
+        return p0 + (p1 - p0) * (x - x0) / (x1 - x0)
+
+
+def ks_against_reference(
+    samples: Sequence[float], reference: ReferenceCdf
+) -> float:
+    """sup |ECDF(x) - reference(x)| over samples and anchor points.
+
+    For a piecewise-linear reference the supremum is attained at an
+    ECDF jump or an anchor, so evaluating both sets is exact.
+    """
+    if not samples:
+        raise ValueError("KS distance of empty sample set")
+    ordered = sorted(samples)
+    n = len(ordered)
+    distance = 0.0
+    for index, x in enumerate(ordered):
+        ref = reference.probability_at(x)
+        distance = max(distance, abs((index + 1) / n - ref), abs(index / n - ref))
+    for x, _ in reference.points:
+        ref = reference.probability_at(x)
+        empirical = bisect.bisect_right(ordered, x) / n
+        distance = max(distance, abs(empirical - ref))
+    return distance

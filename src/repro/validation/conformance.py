@@ -1,0 +1,395 @@
+"""Conformance runner: execute the three evaluations, grade fidelity.
+
+Runs scaled-down versions of the paper's three measurement campaigns
+— the peer dataset (population analysis + crawl/probe campaign), the
+gateway dataset (trace replay) and the performance dataset (six-region
+publish/retrieve) — computes the same statistics the paper reports,
+and grades each against :data:`repro.validation.targets.TARGETS`.
+
+The three datasets are independent experiment cells in the sense of
+:mod:`repro.experiments.runner`: each builds its world from RNGs
+derived from ``(seed, dataset)``, so they can shard across worker
+processes and the merged report is byte-identical for any ``workers``
+value. The layer is read-only over experiment outputs: it installs no
+hooks and flips no feature flags, so the golden trace is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, replace
+
+from repro.experiments.deployment import (
+    CrawlCampaignConfig,
+    analyze_population,
+    run_crawl_timeseries,
+)
+from repro.experiments.gateway_exp import (
+    GatewayExperimentConfig,
+    run_gateway_experiment,
+)
+from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.report import check_shape, render_table
+from repro.experiments.runner import Cell, run_cells
+from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentiles
+from repro.validation.compare import Grade, ks_against_reference, worst_grade
+from repro.validation.targets import (
+    DATASETS,
+    GATEWAY,
+    PEER,
+    PERFORMANCE,
+    RETRIEVAL_CDF_FIG9D,
+    TARGETS,
+    TARGETS_BY_KEY,
+    PaperTarget,
+)
+from repro.workloads.gateway_trace import GatewayTraceConfig
+from repro.workloads.population import PopulationConfig, generate_population
+
+#: Regions the paper finds slowest for retrievals (Table 4 / Fig 9a:
+#: af_south and ap_southeast; sa_east sits in the same far band).
+_FAR_REGIONS = frozenset({"af_south_1", "ap_southeast_2", "sa_east_1"})
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Scales of the three scaled-down evaluations (one tier)."""
+
+    tier: str = "quick"
+    seed: int = 42
+    population_peers: int = 6_000
+    crawl_peers: int = 150
+    crawl_hours: float = 12.0
+    crawl_interval_s: float = 1800.0
+    perf_peers: int = 600
+    perf_rounds: int = 3
+    gateway_scale: int = 120
+
+
+QUICK = ValidationConfig()
+
+FULL = ValidationConfig(
+    tier="full",
+    population_peers=30_000,
+    crawl_peers=300,
+    perf_peers=1_500,
+    perf_rounds=4,
+    gateway_scale=40,
+)
+
+TIERS: dict[str, ValidationConfig] = {"quick": QUICK, "full": FULL}
+
+
+def config_for_tier(tier: str, seed: int | None = None) -> ValidationConfig:
+    """The committed configuration of a tier, optionally re-seeded."""
+    try:
+        config = TIERS[tier]
+    except KeyError:
+        raise ValueError(
+            f"unknown tier {tier!r}; expected one of {sorted(TIERS)}"
+        ) from None
+    if seed is not None and seed != config.seed:
+        config = replace(config, seed=seed)
+    return config
+
+
+# --------------------------------------------------------------------------
+# Dataset cells (module-level and picklable for runner sharding)
+# --------------------------------------------------------------------------
+
+#: The metric keys each dataset cell produces, pinned so the registry
+#: and the runners cannot drift apart silently (tested both ways).
+METRIC_KEYS_BY_DATASET: dict[str, tuple[str, ...]] = {
+    dataset: tuple(t.key for t in TARGETS if t.dataset == dataset)
+    for dataset in DATASETS
+}
+
+
+def run_peer_dataset(config: ValidationConfig) -> dict[str, float]:
+    """Population analysis + crawl/probe campaign (Section 5)."""
+    population = generate_population(
+        PopulationConfig(n_peers=config.population_peers),
+        derive_rng(config.seed, "validate-pop"),
+    )
+    analysis = analyze_population(population)
+    never = sum(
+        1 for spec in population.peers if spec.reachability == "never"
+    ) / len(population.peers)
+
+    crawl_population = generate_population(
+        PopulationConfig(n_peers=config.crawl_peers),
+        derive_rng(config.seed, "validate-crawl-pop"),
+    )
+    scenario = build_scenario(crawl_population, ScenarioConfig(seed=config.seed))
+    campaign = run_crawl_timeseries(
+        scenario,
+        CrawlCampaignConfig(
+            crawl_interval_s=config.crawl_interval_s,
+            duration_s=config.crawl_hours * 3600.0,
+            seed=config.seed,
+        ),
+    )
+    crawls = campaign.timeseries()
+    undialable = sum(u / total for _, total, _, u in crawls if total) / len(crawls)
+    churn = campaign.churn_summary()
+
+    return {
+        "peer.country_share_us": analysis.country_shares.get("US", 0.0),
+        "peer.country_share_cn": analysis.country_shares.get("CN", 0.0),
+        "peer.multihoming_share": analysis.multihoming,
+        "peer.top10_as_share": analysis.top10_as_share,
+        "peer.top100_as_share": analysis.top100_as_share,
+        "peer.cloud_ip_share": sum(row.share for row in analysis.cloud_rows),
+        "peer.never_reachable_share": never,
+        "peer.undialable_fraction": undialable,
+        "peer.session_under_8h": churn.under_8h_fraction,
+    }
+
+
+def run_gateway_dataset(config: ValidationConfig) -> dict[str, float]:
+    """One replayed day of gateway traffic (Sections 4.2, 6.3)."""
+    results = run_gateway_experiment(
+        GatewayExperimentConfig(
+            trace=GatewayTraceConfig(scale=config.gateway_scale),
+            seed=config.seed,
+        )
+    )
+    country_by_user = {entry.user: entry.country for entry in results.log}
+    user_countries = Counter(country_by_user.values())
+    n_users = sum(user_countries.values())
+    usage = results.usage_summary()
+    tiers = {row.tier.value: row for row in results.tier_table()}
+    referrals = results.referrals()
+    sizes = results.trace.cid_sizes
+    size_median, = percentiles(sizes, [50])
+
+    return {
+        "gateway.user_share_us": user_countries.get("US", 0) / n_users,
+        "gateway.user_share_cn": user_countries.get("CN", 0) / n_users,
+        "gateway.requests_per_user": usage["requests"] / usage["users"],
+        "gateway.requests_per_cid": usage["requests"] / usage["unique_cids"],
+        "gateway.nginx_request_share": tiers["nginx cache"].request_share,
+        "gateway.node_store_request_share": (
+            tiers["IPFS node store"].request_share
+        ),
+        "gateway.combined_hit_rate": results.combined_hit_rate(),
+        "gateway.referred_share": referrals["referred_share"],
+        "gateway.semi_popular_referral_share": referrals["semi_popular_share"],
+        "gateway.object_size_median_kb": size_median / 1000.0,
+        "gateway.object_size_over_100kb": (
+            sum(1 for size in sizes if size > 100_000) / len(sizes)
+        ),
+    }
+
+
+def run_performance_dataset(config: ValidationConfig) -> dict[str, float]:
+    """The six-region publish/retrieve experiment (Sections 6.1-6.2)."""
+    population = generate_population(
+        PopulationConfig(n_peers=config.perf_peers),
+        derive_rng(config.seed, "validate-perf-pop"),
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=config.seed), vantage_regions=AWS_REGIONS
+    )
+    results = run_perf_experiment(
+        scenario, PerfConfig(rounds=config.perf_rounds, seed=config.seed)
+    )
+    publications = [r.total_duration for r in results.all_publications()]
+    retrievals = [r.total_duration for r in results.all_retrievals()]
+    operations = len(publications) + len(retrievals)
+    success = operations / (operations + results.failures) if operations else 0.0
+    pub_p50, = percentiles(publications, [50])
+    get_p50, get_p90, get_p95 = percentiles(retrievals, [50, 90, 95])
+    region_medians = {
+        region: row["retrieval"][0]
+        for region, row in results.latency_percentiles().items()
+        if "retrieval" in row
+    }
+    slowest = max(region_medians, key=region_medians.__getitem__)
+
+    return {
+        "perf.publication_p50_s": pub_p50,
+        "perf.retrieval_p50_s": get_p50,
+        "perf.retrieval_p90_s": get_p90,
+        "perf.retrieval_p95_s": get_p95,
+        "perf.retrieval_success_rate": success,
+        "perf.retrieval_cdf_ks": ks_against_reference(
+            retrievals, RETRIEVAL_CDF_FIG9D
+        ),
+        "perf.slowest_region_is_far": 1.0 if slowest in _FAR_REGIONS else 0.0,
+    }
+
+
+_DATASET_RUNNERS = {
+    PEER: run_peer_dataset,
+    GATEWAY: run_gateway_dataset,
+    PERFORMANCE: run_performance_dataset,
+}
+
+
+# --------------------------------------------------------------------------
+# Report
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GradedMetric:
+    """One paper quantity, measured and graded."""
+
+    target: PaperTarget
+    measured: float
+    error: float
+    grade: Grade
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """The graded conformance result of one tier run."""
+
+    tier: str
+    seed: int
+    metrics: tuple[GradedMetric, ...]
+
+    def counts(self) -> dict[str, int]:
+        tally = Counter(metric.grade.value for metric in self.metrics)
+        return {grade.value: tally.get(grade.value, 0) for grade in Grade}
+
+    def worst(self) -> Grade:
+        return worst_grade([metric.grade for metric in self.metrics])
+
+    def failed(self) -> tuple[GradedMetric, ...]:
+        return tuple(m for m in self.metrics if m.grade is Grade.FAIL)
+
+    def to_json_dict(self) -> dict:
+        """A canonical, deterministic dict (no timestamps, fixed float
+        rounding) so equal runs serialize to identical bytes."""
+        return {
+            "schema": "repro.fidelity/v1",
+            "tier": self.tier,
+            "seed": self.seed,
+            "summary": {
+                "metrics": len(self.metrics),
+                "datasets": sorted({m.target.dataset for m in self.metrics}),
+                "grades": self.counts(),
+                "worst": self.worst().value,
+            },
+            "metrics": [
+                {
+                    "key": metric.target.key,
+                    "dataset": metric.target.dataset,
+                    "description": metric.target.description,
+                    "source": metric.target.source,
+                    "kind": metric.target.kind,
+                    "unit": metric.target.unit,
+                    "paper": round(metric.target.paper_value, 6),
+                    "measured": round(metric.measured, 6),
+                    "error": round(metric.error, 6),
+                    "tolerance": {
+                        "pass": metric.target.pass_tol,
+                        "warn": metric.target.warn_tol,
+                    },
+                    "grade": metric.grade.value,
+                }
+                for metric in self.metrics
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        """The human-readable graded table (per-dataset sections)."""
+        rows = [
+            (
+                f"[{metric.grade.value}]",
+                metric.target.key,
+                _format_value(metric.target.paper_value, metric.target),
+                _format_value(metric.measured, metric.target),
+                f"{metric.error * 100:5.1f} %",
+                metric.target.source,
+            )
+            for metric in self.metrics
+        ]
+        counts = self.counts()
+        table = render_table(
+            f"Fidelity — {self.tier} tier, seed {self.seed}",
+            ["grade", "metric", "paper", "measured", "err", "source"],
+            rows,
+            note=(
+                f"{len(self.metrics)} metrics over {len(DATASETS)} datasets; "
+                f"{counts['PASS']} PASS / {counts['WARN']} WARN / "
+                f"{counts['FAIL']} FAIL"
+            ),
+        )
+        verdict = check_shape(
+            "all graded metrics inside their tolerance bands",
+            self.worst() is not Grade.FAIL,
+        )
+        return f"{table}\n{verdict}"
+
+
+def _format_value(value: float, target: PaperTarget) -> str:
+    if target.kind == "ordering":
+        return "holds" if value >= 1.0 else "flipped"
+    suffix = f" {target.unit}" if target.unit else ""
+    return f"{value:.4g}{suffix}"
+
+
+def grade_measurements(
+    config: ValidationConfig, measured: dict[str, float]
+) -> FidelityReport:
+    """Grade a measurement dict against the registry (registry order)."""
+    missing = [t.key for t in TARGETS if t.key not in measured]
+    if missing:
+        raise ValueError(f"measurements missing for targets: {missing}")
+    unknown = sorted(set(measured) - set(TARGETS_BY_KEY))
+    if unknown:
+        raise ValueError(f"measurements with no registered target: {unknown}")
+    metrics = []
+    for target in TARGETS:
+        error, grade = target.grade(measured[target.key])
+        metrics.append(
+            GradedMetric(
+                target=target,
+                measured=measured[target.key],
+                error=error,
+                grade=grade,
+            )
+        )
+    return FidelityReport(
+        tier=config.tier, seed=config.seed, metrics=tuple(metrics)
+    )
+
+
+def run_conformance(
+    config: ValidationConfig, workers: int = 1
+) -> FidelityReport:
+    """Run all three dataset cells and grade the merged measurements.
+
+    The cells are independent (each derives its RNGs from the seed and
+    its own label), so any ``workers`` value yields the same report.
+    """
+    cells = [
+        Cell(f"validate[{dataset}]", _DATASET_RUNNERS[dataset], (config,))
+        for dataset in DATASETS
+    ]
+    measured: dict[str, float] = {}
+    for dataset, result in zip(DATASETS, run_cells(cells, workers=workers)):
+        expected = METRIC_KEYS_BY_DATASET[dataset]
+        if tuple(result) != expected:  # pragma: no cover - runner bug
+            raise RuntimeError(
+                f"{dataset} cell produced keys {tuple(result)}, "
+                f"expected {expected}"
+            )
+        measured.update(result)
+    return grade_measurements(config, measured)
+
+
+def write_fidelity_artifact(report: FidelityReport, path) -> int:
+    """Write the canonical JSON artifact; returns the metric count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    return len(report.metrics)

@@ -1,0 +1,109 @@
+"""Branch coverage for churn analysis and the synthetic registries."""
+
+from repro.measurement.analysis import (
+    as_distribution,
+    country_distribution,
+    multihoming_share,
+)
+from repro.measurement.churn_analysis import SessionObservation, filter_for_bias
+from repro.measurement.registries import AsInfo, CloudRegistry, GeoIpRegistry
+
+
+class TestBiasFilterEdges:
+    def test_pre_window_starters_excluded(self):
+        # A session that began before the prober started is censored on
+        # the left; the Saroiu-style filter must drop it too.
+        sessions = [
+            SessionObservation("early", "US", -10.0, 40.0),
+            SessionObservation("ok", "US", 0.0, 40.0),
+        ]
+        kept = filter_for_bias(sessions, window_start=0.0, window_end=100.0)
+        assert [s.peer for s in kept] == ["ok"]
+
+    def test_empty_input(self):
+        assert filter_for_bias([], 0.0, 100.0) == []
+
+
+class TestAsDistributionFallbacks:
+    def test_unknown_as_info_gets_synthetic_row(self):
+        # An ASN seen on an IP but absent from the AS database still
+        # appears in Table 2, with rank 0 and a synthesized name.
+        geo = GeoIpRegistry()
+        geo.add_ip("1.1.1.1", "US", 64512)
+        rows = as_distribution(["1.1.1.1"], geo)
+        assert len(rows) == 1
+        assert rows[0].rank == 0
+        assert rows[0].name == "AS64512"
+        assert rows[0].share == 1.0
+
+    def test_known_and_unknown_ases_mix(self):
+        geo = GeoIpRegistry()
+        geo.add_as(AsInfo(asn=100, rank=1, name="BigTransit"))
+        geo.add_ip("1.1.1.1", "US", 100)
+        geo.add_ip("2.2.2.2", "US", 100)
+        geo.add_ip("3.3.3.3", "DE", 200)
+        rows = as_distribution(["1.1.1.1", "2.2.2.2", "3.3.3.3"], geo)
+        assert [(r.asn, r.name, r.ip_count) for r in rows] == [
+            (100, "BigTransit", 2),
+            (200, "AS200", 1),
+        ]
+
+
+class TestUnknownIpHandling:
+    def test_all_unknown_ips_give_empty_distribution(self):
+        geo = GeoIpRegistry()
+        assert country_distribution({"p": ["9.9.9.9"]}, geo) == {}
+
+    def test_unknown_ips_do_not_count_toward_multihoming(self):
+        geo = GeoIpRegistry()
+        geo.add_ip("1.1.1.1", "US", 100)
+        peer_ips = {
+            "single": ["1.1.1.1", "9.9.9.9"],  # unknown IP ignored
+            "unknown-only": ["8.8.8.8"],  # excluded from the total
+        }
+        assert multihoming_share(peer_ips, geo) == 0.0
+
+    def test_multihoming_empty_population(self):
+        assert multihoming_share({}, GeoIpRegistry()) == 0.0
+
+
+class TestGeoIpRegistry:
+    def test_known_ases_sorted_by_rank(self):
+        geo = GeoIpRegistry()
+        geo.add_as(AsInfo(asn=300, rank=7, name="Small"))
+        geo.add_as(AsInfo(asn=100, rank=1, name="Big"))
+        geo.add_as(AsInfo(asn=200, rank=3, name="Mid"))
+        assert [info.name for info in geo.known_ases()] == [
+            "Big", "Mid", "Small"
+        ]
+
+    def test_len_counts_registered_ips(self):
+        geo = GeoIpRegistry()
+        assert len(geo) == 0
+        geo.add_ip("1.1.1.1", "US", 100)
+        geo.add_ip("2.2.2.2", "DE", 200)
+        assert len(geo) == 2
+
+    def test_lookup_misses_return_none(self):
+        geo = GeoIpRegistry()
+        assert geo.country("9.9.9.9") is None
+        assert geo.asn("9.9.9.9") is None
+        assert geo.as_info(4242) is None
+
+
+class TestCloudRegistry:
+    def test_add_provider_dedups_and_preserves_order(self):
+        clouds = CloudRegistry()
+        clouds.add_provider("amazon")
+        clouds.add_provider("hetzner")
+        clouds.add_provider("amazon")
+        assert clouds.providers == ["amazon", "hetzner"]
+
+    def test_add_ip_registers_provider(self):
+        clouds = CloudRegistry()
+        clouds.add_ip("1.1.1.1", "digitalocean")
+        assert clouds.providers == ["digitalocean"]
+        assert clouds.provider("1.1.1.1") == "digitalocean"
+        assert clouds.is_cloud("1.1.1.1")
+        assert not clouds.is_cloud("9.9.9.9")
+        assert clouds.provider("9.9.9.9") is None

@@ -1,0 +1,95 @@
+"""Property tests for retrieval stretch (Section 6.2, Figure 10).
+
+Complements the worked examples in test_churn_stretch.py with the
+structural invariants Figure 10 relies on: stretch never drops below
+1, removing the Bitswap window (Fig 10b) never increases it, and the
+ratio is invariant under a uniform time rescaling.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.stretch import retrieval_stretch
+from repro.multiformats.cid import make_cid
+from repro.multiformats.peerid import PeerId
+from repro.node.host import RetrievalReceipt
+
+durations = st.floats(min_value=0.0, max_value=60.0,
+                      allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.05, max_value=60.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def receipt(window, provider_walk, peer_walk, dial, fetch):
+    total = window + provider_walk + peer_walk + dial + fetch
+    return RetrievalReceipt(
+        cid=make_cid(b"stretch"),
+        provider=PeerId.from_public_key(b"p"),
+        via_bitswap=False,
+        bitswap_window=window,
+        provider_walk_duration=provider_walk,
+        peer_walk_duration=peer_walk,
+        dial_duration=dial,
+        fetch_duration=fetch,
+        total_duration=total,
+        bytes_fetched=500_000,
+    )
+
+
+receipts = st.builds(
+    receipt,
+    window=durations,
+    provider_walk=durations,
+    peer_walk=durations,
+    dial=positive,
+    fetch=positive,
+)
+
+
+class TestStretchProperties:
+    @given(r=receipts)
+    @settings(max_examples=80)
+    def test_at_least_one(self, r):
+        assert retrieval_stretch(r, include_bitswap_window=True) >= 1.0
+        assert retrieval_stretch(r, include_bitswap_window=False) >= 1.0
+
+    @given(r=receipts)
+    @settings(max_examples=80)
+    def test_fig10b_variant_never_exceeds_fig10a(self, r):
+        # Fig 10b removes the Bitswap window from the numerator only,
+        # so its stretch can never exceed the Fig 10a value.
+        with_window = retrieval_stretch(r, include_bitswap_window=True)
+        without = retrieval_stretch(r, include_bitswap_window=False)
+        assert without <= with_window + 1e-12
+
+    @given(r=receipts, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=80)
+    def test_invariant_under_time_rescaling(self, r, scale):
+        scaled = receipt(
+            r.bitswap_window * scale,
+            r.provider_walk_duration * scale,
+            r.peer_walk_duration * scale,
+            r.dial_duration * scale,
+            r.fetch_duration * scale,
+        )
+        assert math.isclose(
+            retrieval_stretch(r, True),
+            retrieval_stretch(scaled, True),
+            rel_tol=1e-9,
+        )
+
+    @given(r=receipts, extra=positive)
+    @settings(max_examples=80)
+    def test_monotone_in_discovery_time(self, r, extra):
+        # A longer DHT walk with everything else fixed means more
+        # overhead relative to the same HTTPS-equivalent fetch.
+        slower = receipt(
+            r.bitswap_window,
+            r.provider_walk_duration + extra,
+            r.peer_walk_duration,
+            r.dial_duration,
+            r.fetch_duration,
+        )
+        assert retrieval_stretch(slower, True) > retrieval_stretch(r, True)

@@ -1,0 +1,134 @@
+"""Unit tests for the statistical comparators."""
+
+import pytest
+
+from repro.validation.compare import (
+    Grade,
+    ReferenceCdf,
+    grade_at_least,
+    grade_distance,
+    grade_relative_error,
+    ks_against_reference,
+    ks_statistic,
+    percentile_band,
+    relative_error,
+    worst_grade,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_expected_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_grade_bands_inclusive(self):
+        assert grade_relative_error(11.0, 10.0, 0.1, 0.2)[1] is Grade.PASS
+        assert grade_relative_error(12.0, 10.0, 0.1, 0.2)[1] is Grade.WARN
+        assert grade_relative_error(12.1, 10.0, 0.1, 0.2)[1] is Grade.FAIL
+
+    def test_bad_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            grade_relative_error(1.0, 1.0, 0.3, 0.1)
+        with pytest.raises(ValueError):
+            grade_relative_error(1.0, 1.0, -0.1, 0.1)
+
+
+class TestAtLeast:
+    def test_floor_met(self):
+        assert grade_at_least(0.9, 0.8, 0.05) == (0.0, Grade.PASS)
+
+    def test_warn_band(self):
+        error, grade = grade_at_least(0.78, 0.8, 0.05)
+        assert grade is Grade.WARN
+        assert error == pytest.approx(0.025)
+
+    def test_fail_below_slack(self):
+        assert grade_at_least(0.5, 0.8, 0.05)[1] is Grade.FAIL
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            grade_at_least(1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            grade_at_least(1.0, 1.0, -0.1)
+
+
+class TestDistance:
+    def test_bands(self):
+        assert grade_distance(0.1, 0.2, 0.3)[1] is Grade.PASS
+        assert grade_distance(0.25, 0.2, 0.3)[1] is Grade.WARN
+        assert grade_distance(0.5, 0.2, 0.3)[1] is Grade.FAIL
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            grade_distance(-0.1, 0.2, 0.3)
+
+
+class TestWorstGrade:
+    def test_orders_by_severity(self):
+        assert worst_grade([]) is Grade.PASS
+        assert worst_grade([Grade.PASS, Grade.WARN]) is Grade.WARN
+        assert worst_grade([Grade.WARN, Grade.FAIL, Grade.PASS]) is Grade.FAIL
+
+
+class TestPercentileBand:
+    def test_median_graded(self):
+        check = percentile_band([1.0, 2.0, 3.0], 50, 2.0, 0.1, 0.2)
+        assert check.measured == 2.0
+        assert check.error == 0.0
+        assert check.grade is Grade.PASS
+
+    def test_off_median_warns(self):
+        check = percentile_band([1.0, 2.0, 3.0], 50, 2.3, 0.1, 0.2)
+        assert check.grade is Grade.WARN
+
+
+class TestKsStatistic:
+    def test_identical_zero(self):
+        assert ks_statistic([1.0, 2.0, 3.0], [3.0, 1.0, 2.0]) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_known_value(self):
+        # F_a jumps to 1 at 1.0 while F_b is still 0 -> D = 1/2 at x=1.
+        assert ks_statistic([1.0], [1.5, 2.0]) == pytest.approx(1.0)
+        assert ks_statistic([1.0, 2.0], [1.5, 2.0]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestReferenceCdf:
+    def test_interpolates_between_anchors(self):
+        ref = ReferenceCdf(points=((1.0, 0.0), (3.0, 1.0)))
+        assert ref.probability_at(2.0) == pytest.approx(0.5)
+        assert ref.probability_at(0.5) == 0.0
+        assert ref.probability_at(5.0) == 1.0
+
+    def test_rejects_bad_anchor_sets(self):
+        with pytest.raises(ValueError):
+            ReferenceCdf(points=((1.0, 0.5),))
+        with pytest.raises(ValueError):
+            ReferenceCdf(points=((2.0, 0.1), (1.0, 0.9)))
+        with pytest.raises(ValueError):
+            ReferenceCdf(points=((1.0, 0.2), (2.0, 1.5)))
+
+    def test_ks_zero_for_matching_samples(self):
+        # ECDF of 1..100 closely tracks the uniform reference on [0,100].
+        ref = ReferenceCdf(points=((0.0, 0.0), (100.0, 1.0)))
+        samples = [float(i) for i in range(1, 101)]
+        assert ks_against_reference(samples, ref) <= 0.02
+
+    def test_ks_large_for_shifted_samples(self):
+        ref = ReferenceCdf(points=((0.0, 0.0), (1.0, 1.0)))
+        assert ks_against_reference([10.0, 11.0], ref) == 1.0
+
+    def test_ks_empty_rejected(self):
+        ref = ReferenceCdf(points=((0.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(ValueError):
+            ks_against_reference([], ref)

@@ -1,0 +1,107 @@
+"""Property tests for the comparator primitives (Hypothesis).
+
+The conformance gate leans on these invariants: KS is a symmetric
+distance that vanishes on identical samples, percentile-band grading
+is scale-invariant, and widening a tolerance band never makes a grade
+worse (so loosening a target can only ever un-fail the gate).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.validation.compare import (
+    grade_at_least,
+    grade_relative_error,
+    ks_statistic,
+    percentile_band,
+)
+
+samples = st.lists(
+    st.floats(min_value=0.001, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60,
+)
+
+
+class TestKsProperties:
+    @given(a=samples, b=samples)
+    @settings(max_examples=60)
+    def test_symmetric_and_bounded(self, a, b):
+        d = ks_statistic(a, b)
+        assert d == ks_statistic(b, a)
+        assert 0.0 <= d <= 1.0
+
+    @given(a=samples)
+    @settings(max_examples=60)
+    def test_zero_for_identical_samples(self, a):
+        assert ks_statistic(a, list(a)) == 0.0
+
+    @given(a=samples, b=samples)
+    @settings(max_examples=60)
+    def test_triangle_inequality_through_shared_sample(self, a, b):
+        # KS is a sup-norm distance on ECDFs, so the triangle
+        # inequality must hold through any third sample.
+        c = a + b
+        assert ks_statistic(a, b) <= (
+            ks_statistic(a, c) + ks_statistic(c, b) + 1e-12
+        )
+
+
+class TestPercentileBandProperties:
+    @given(
+        values=samples,
+        q=st.integers(min_value=0, max_value=100),
+        expected=st.floats(min_value=0.01, max_value=1e5),
+        scale=st.floats(min_value=0.01, max_value=1e3),
+    )
+    @settings(max_examples=60)
+    def test_scale_invariant(self, values, q, expected, scale):
+        base = percentile_band(values, q, expected, 0.1, 0.3)
+        scaled = percentile_band(
+            [v * scale for v in values], q, expected * scale, 0.1, 0.3
+        )
+        assert math.isclose(base.error, scaled.error,
+                            rel_tol=1e-9, abs_tol=1e-9)
+        # Identical errors up to float noise grade identically unless
+        # the error sits exactly on a band edge; rule that sliver out.
+        for edge in (0.1, 0.3):
+            if abs(base.error - edge) < 1e-9:
+                return
+        assert base.grade is scaled.grade
+
+
+tolerances = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+).map(sorted)
+
+
+class TestGradeMonotoneInTolerance:
+    @given(
+        measured=st.floats(min_value=0.01, max_value=1e4),
+        expected=st.floats(min_value=0.01, max_value=1e4),
+        narrow=tolerances,
+        widen=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_widening_never_worsens(self, measured, expected, narrow, widen):
+        pass_tol, warn_tol = narrow
+        _, grade = grade_relative_error(measured, expected, pass_tol, warn_tol)
+        _, wider = grade_relative_error(
+            measured, expected, pass_tol + widen, warn_tol + widen
+        )
+        assert wider.severity <= grade.severity
+
+    @given(
+        measured=st.floats(min_value=0.0, max_value=2.0),
+        floor=st.floats(min_value=0.01, max_value=2.0),
+        slack=st.floats(min_value=0.0, max_value=0.5),
+        widen=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=80)
+    def test_at_least_monotone_in_slack(self, measured, floor, slack, widen):
+        _, grade = grade_at_least(measured, floor, slack)
+        _, wider = grade_at_least(measured, floor, slack + widen)
+        assert wider.severity <= grade.severity

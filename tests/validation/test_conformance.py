@@ -1,0 +1,135 @@
+"""Conformance runner: determinism, sharding equivalence, structure.
+
+These tests run a deliberately tiny configuration (sub-second) so the
+suite stays fast; grading quality at real scale is covered by the
+seed-sweep test and the CI `validate` job.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.validation.compare import Grade
+from repro.validation.conformance import (
+    FULL,
+    METRIC_KEYS_BY_DATASET,
+    QUICK,
+    ValidationConfig,
+    config_for_tier,
+    grade_measurements,
+    run_conformance,
+    write_fidelity_artifact,
+)
+from repro.validation.targets import DATASETS, TARGETS
+
+TINY = ValidationConfig(
+    tier="quick",
+    seed=7,
+    population_peers=800,
+    crawl_peers=40,
+    crawl_hours=2.0,
+    crawl_interval_s=1800.0,
+    perf_peers=120,
+    perf_rounds=1,
+    gateway_scale=2000,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_conformance(TINY, workers=1)
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, tiny_report):
+        again = run_conformance(TINY, workers=1)
+        assert again.to_json() == tiny_report.to_json()
+
+    def test_workers_do_not_change_results(self, tiny_report):
+        sharded = run_conformance(TINY, workers=2)
+        assert sharded.to_json() == tiny_report.to_json()
+
+    def test_seed_changes_measurements(self, tiny_report):
+        other = run_conformance(
+            dataclasses.replace(TINY, seed=8), workers=1
+        )
+        assert other.to_json() != tiny_report.to_json()
+
+
+class TestReportStructure:
+    def test_covers_every_registered_target(self, tiny_report):
+        assert [m.target.key for m in tiny_report.metrics] == [
+            t.key for t in TARGETS
+        ]
+        assert {m.target.dataset for m in tiny_report.metrics} == set(DATASETS)
+
+    def test_json_schema(self, tiny_report):
+        doc = json.loads(tiny_report.to_json())
+        assert doc["schema"] == "repro.fidelity/v1"
+        assert doc["tier"] == "quick"
+        assert doc["seed"] == 7
+        assert set(doc["summary"]) == {
+            "metrics", "datasets", "grades", "worst"
+        }
+        assert doc["summary"]["datasets"] == sorted(DATASETS)
+        assert len(doc["metrics"]) == len(TARGETS)
+        for entry in doc["metrics"]:
+            assert set(entry) == {
+                "key", "dataset", "description", "source", "unit",
+                "kind", "paper", "measured", "error", "grade",
+                "tolerance",
+            }
+
+    def test_counts_sum_to_metric_count(self, tiny_report):
+        counts = tiny_report.counts()
+        assert sum(counts.values()) == len(tiny_report.metrics)
+        assert len(tiny_report.failed()) == counts["FAIL"]
+
+    def test_render_text_lists_every_metric(self, tiny_report):
+        text = tiny_report.render_text()
+        for metric in tiny_report.metrics:
+            assert metric.target.key in text
+
+    def test_artifact_round_trips(self, tiny_report, tmp_path):
+        path = tmp_path / "fidelity.json"
+        write_fidelity_artifact(tiny_report, path)
+        assert path.read_text() == tiny_report.to_json()
+
+
+class TestGradeMeasurements:
+    def _measurements(self):
+        return {t.key: t.paper_value for t in TARGETS}
+
+    def test_paper_values_grade_pass(self):
+        report = grade_measurements(QUICK, self._measurements())
+        assert all(m.grade is Grade.PASS for m in report.metrics)
+
+    def test_missing_key_rejected(self):
+        broken = self._measurements()
+        del broken["peer.country_share_us"]
+        with pytest.raises(ValueError, match="missing"):
+            grade_measurements(QUICK, broken)
+
+    def test_unknown_key_rejected(self):
+        broken = self._measurements()
+        broken["peer.bogus"] = 1.0
+        with pytest.raises(ValueError, match="no registered target"):
+            grade_measurements(QUICK, broken)
+
+
+class TestTierConfigs:
+    def test_tiers_resolve(self):
+        assert config_for_tier("quick", seed=5).seed == 5
+        assert config_for_tier("quick", seed=5).population_peers == \
+            QUICK.population_peers
+        assert config_for_tier("full", seed=1).tier == "full"
+        assert FULL.population_peers > QUICK.population_peers
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            config_for_tier("nonsense", seed=1)
+
+    def test_metric_keys_partition_targets(self):
+        keys = [k for d in DATASETS for k in METRIC_KEYS_BY_DATASET[d]]
+        assert keys == [t.key for t in TARGETS]
