@@ -1,0 +1,43 @@
+"""Attack×defense matrix bench: the adversarial what-if suite.
+
+The smoke test regenerates the committed ``BENCH_attack.json``
+configuration and checks both the grades (every attack's degradation
+recovered by the defense arm) and the bytes (the canonical artifact
+must match the committed baseline exactly — same check CI's
+``attack-smoke`` job performs via ``cmp``).
+"""
+
+import pathlib
+
+from conftest import save_report
+
+from repro.adversary import (
+    bench_attack_config,
+    grade_matrix,
+    run_attack_matrix,
+)
+from repro.validation.compare import Grade
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_attack.json"
+
+
+def test_attack_smoke():
+    """Fast end-to-end pass for CI: the frozen bench matrix, sharded,
+    must reproduce the committed artifact byte-for-byte and grade PASS."""
+    results = run_attack_matrix(bench_attack_config(), workers=2)
+    report = grade_matrix(results)
+    save_report("attack_matrix", report.render_text())
+
+    assert report.clean_grade is Grade.PASS
+    assert report.overall is Grade.PASS
+    # The eclipse row is the headline acceptance criterion: measurable
+    # suppression, majority recovery.
+    eclipse = next(row for row in report.rows if row.attack == "eclipse")
+    assert eclipse.suppression > 0.25
+    assert eclipse.recovery is not None and eclipse.recovery >= 0.5
+
+    assert report.to_json() == BASELINE.read_text(), (
+        "graded attack matrix drifted from the committed BENCH_attack.json; "
+        "regenerate with: python -m repro.tools.cli attack --bench "
+        "--export BENCH_attack.json"
+    )

@@ -1,0 +1,456 @@
+"""The attack×defense matrix: run, measure, grade.
+
+Protocol per cell (one attack spec × one defense arm): build a fresh
+static world, place the attacker, publish one object from the EU
+vantage node, unleash the incident, then retrieve repeatedly from the
+US vantage node — chaos-sweep style, with the getter's connections,
+address book and blocks dropped between attempts so every retrieval
+pays the full discovery + dial + Bitswap path. Degradation is measured
+as retrieval success rate, p50/p95 time-to-fetch, and dialability.
+
+Grading (per attack kind, against the ``none``/``off`` clean cell):
+
+- *recovery* — the defended arm must win back at least half of the
+  success rate the attack suppressed (PASS at >= 50 %, WARN to 25 %);
+  an attack that barely bites (suppression <= 5 pp) passes trivially;
+- *slowdown* — defended-arm median fetch time must stay within
+  ``TTFB_SLOWDOWN_CAP`` (15x) of the clean median (WARN to 30x);
+- *dialability* — the defended arm's dial success ratio must hold at
+  least ``DIALABILITY_FLOOR`` (30 %) of the clean world's.
+
+Cells are sharded through :func:`repro.experiments.runner.run_cells`;
+every cell derives its RNG streams from the seed and its own label, so
+the matrix is byte-identical for any ``workers`` count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.adversary.attacks import (
+    AttackSpec,
+    install_incident,
+    install_placement,
+)
+from repro.adversary.defenses import defense
+from repro.dht.keyspace import key_for_cid
+from repro.experiments.chaos import (
+    GETTER_REGION,
+    PUBLISHER_REGION,
+    _drain_unpinned,
+)
+from repro.experiments.runner import Cell, run_cells
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.simnet.faults import FaultInjector
+from repro.simnet.sim import with_timeout
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentiles
+from repro.validation.compare import Grade, grade_at_least, worst_grade
+from repro.workloads.population import PopulationConfig, generate_population
+
+#: Suppression below this (in success-rate points) means the attack
+#: did not measurably bite; recovery is then graded PASS trivially.
+SUPPRESSION_EPSILON = 0.05
+
+#: Defended-arm median fetch time may be at most this multiple of the
+#: clean median before the slowdown grade degrades (WARN to 2x this).
+#: Degraded-mode retrieval is *supposed* to be slow — retries, hedges
+#: and republishes all trade latency for success — so the cap only
+#: catches pathological stalls, not the expected 10x of heavy weather.
+TTFB_SLOWDOWN_CAP = 15.0
+
+#: Defended-arm dialability floor, as a fraction of clean dialability.
+#: Attacks legitimately crater dial success (a churn storm's cohort is
+#: offline when retried dials reach it); the floor catches collapse.
+DIALABILITY_FLOOR = 0.3
+
+#: Clean-cell success-rate floor (the matrix is meaningless if the
+#: attack-free world cannot retrieve).
+CLEAN_SUCCESS_FLOOR = 0.9
+
+
+def default_attacks() -> tuple[AttackSpec, ...]:
+    return (
+        AttackSpec("none"),
+        AttackSpec("eclipse"),
+        AttackSpec("censor"),
+        AttackSpec("churn_storm"),
+        AttackSpec("partition"),
+        AttackSpec("cloud_exodus"),
+    )
+
+
+@dataclass(frozen=True)
+class AttackMatrixConfig:
+    seed: int = 42
+    n_peers: int = 160
+    retrievals_per_cell: int = 6
+    object_size: int = 32 * 1024
+    #: simulated seconds before an unfinished retrieval counts failed.
+    retrieval_budget_s: float = 180.0
+    #: retrieval start times are pinned to this grid (measured from the
+    #: incident start), so both arms sample the *same* points of the
+    #: attack timeline — back-to-back retrievals would let an arm whose
+    #: failures burn more simulated time drift into calmer weather and
+    #: look better for it.
+    retrieval_spacing_s: float = 130.0
+    attacks: tuple[AttackSpec, ...] = field(default_factory=default_attacks)
+    defenses: tuple[str, ...] = ("off", "on")
+
+
+def bench_attack_config() -> AttackMatrixConfig:
+    """The configuration frozen into ``BENCH_attack.json`` (CI-sized)."""
+    return AttackMatrixConfig(
+        seed=42, n_peers=120, retrievals_per_cell=5, object_size=16 * 1024
+    )
+
+
+@dataclass
+class AttackCellResult:
+    """Outcomes and telemetry of one (attack, defense) cell."""
+
+    attack: str
+    intensity: float
+    defense: str
+    attempted: int
+    latencies: list[float] = field(default_factory=list)
+    dials_attempted: int = 0
+    dials_succeeded: int = 0
+    faults_injected: int = 0
+    retries_attempted: int = 0
+    #: adversary-side counters (eclipse cells only).
+    records_suppressed: int = 0
+    queries_censored: int = 0
+
+    @property
+    def succeeded(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    @property
+    def dialability(self) -> float:
+        if self.dials_attempted == 0:
+            return 0.0
+        return self.dials_succeeded / self.dials_attempted
+
+    def ttfb(self) -> tuple[float | None, float | None]:
+        """(p50, p95) of successful retrieval durations."""
+        if not self.latencies:
+            return None, None
+        p50, p95 = percentiles(self.latencies, [50, 95])
+        return p50, p95
+
+
+def _run_cell(
+    config: AttackMatrixConfig, attack: AttackSpec, defense_name: str
+) -> AttackCellResult:
+    """One matrix cell in its own fresh world (picklable for sharding)."""
+    population = generate_population(
+        PopulationConfig(n_peers=config.n_peers),
+        derive_rng(config.seed, "attack-pop"),
+    )
+    arm = defense(defense_name)
+    scenario = build_scenario(
+        population,
+        ScenarioConfig(
+            seed=config.seed, with_churn=False, node_config=arm.node_config()
+        ),
+        vantage_regions=[PUBLISHER_REGION, GETTER_REGION],
+    )
+    sim, net = scenario.sim, scenario.net
+    publisher = scenario.vantage[PUBLISHER_REGION]
+    getter = scenario.vantage[GETTER_REGION]
+    payload = derive_rng(config.seed, "attack-object").randbytes(config.object_size)
+    root = publisher.add_bytes(payload).root
+    state = install_placement(attack, scenario, key_for_cid(root), config.seed)
+    injector = None
+    if state.plan.rules:
+        injector = FaultInjector(
+            state.plan,
+            derive_rng(config.seed, "attack-faults", attack.label, defense_name),
+        )
+    outcomes: list[float | None] = []
+
+    def driver():
+        for node in scenario.vantage.values():
+            yield from node.publish_peer_record()
+        # Placement-phase fault rules (censoring intermediaries) are
+        # live for the publication itself — dropping ADD_PROVIDER at
+        # store time is the attack.
+        if injector is not None and state.plan_phase == "placement":
+            net.install_faults(injector)
+        yield from publisher.publish(root)
+        if injector is not None and state.plan_phase == "incident":
+            net.install_faults(injector)
+        install_incident(attack, scenario, config.seed)
+        if arm.republishes:
+            publisher.start_republisher()
+        incident_start = sim.now
+        for index in range(config.retrievals_per_cell):
+            slot = incident_start + index * config.retrieval_spacing_s
+            if slot > sim.now:
+                yield slot - sim.now
+            getter.disconnect_all()
+            getter.address_book.forget(publisher.peer_id)
+            _drain_unpinned(getter)
+            started = sim.now
+            process = sim.spawn(getter.retrieve(root))
+            try:
+                yield with_timeout(sim, process.future, config.retrieval_budget_s)
+            except Exception:  # noqa: BLE001 - a failed retrieval, count it
+                outcomes.append(None)
+            else:
+                outcomes.append(sim.now - started)
+
+    sim.run_process(driver())
+    return AttackCellResult(
+        attack=attack.kind,
+        intensity=attack.intensity,
+        defense=defense_name,
+        attempted=len(outcomes),
+        latencies=[latency for latency in outcomes if latency is not None],
+        dials_attempted=net.stats.dials_attempted,
+        dials_succeeded=net.stats.dials_succeeded,
+        faults_injected=net.stats.faults_injected,
+        retries_attempted=net.stats.retries_attempted,
+        records_suppressed=state.records_suppressed,
+        queries_censored=state.queries_censored,
+    )
+
+
+@dataclass
+class AttackMatrixResults:
+    config: AttackMatrixConfig
+    cells: list[AttackCellResult] = field(default_factory=list)
+
+    def cell(self, attack_kind: str, defense_name: str) -> AttackCellResult:
+        for cell in self.cells:
+            if cell.attack == attack_kind and cell.defense == defense_name:
+                return cell
+        raise KeyError(f"no cell for ({attack_kind!r}, {defense_name!r})")
+
+
+def run_attack_matrix(
+    config: AttackMatrixConfig | None = None, workers: int = 1
+) -> AttackMatrixResults:
+    """Run every (attack, defense) cell; shard across ``workers``.
+
+    Cell order is attack-major; each cell builds its own world from
+    seed-derived streams, so the assembled results are identical for
+    any worker count.
+    """
+    config = config if config is not None else AttackMatrixConfig()
+    cells = [
+        Cell(f"attack[{attack.label}|{defense_name}]", _run_cell,
+             (config, attack, defense_name))
+        for attack in config.attacks
+        for defense_name in config.defenses
+    ]
+    results = AttackMatrixResults(config=config)
+    results.cells.extend(run_cells(cells, workers))
+    return results
+
+
+# ----------------------------------------------------------------------
+# grading
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AttackGradeRow:
+    """The graded verdict for one attack kind."""
+
+    attack: str
+    intensity: float
+    clean_success: float
+    attacked_success: float
+    defended_success: float
+    suppression: float
+    #: fraction of the suppressed success rate the defenses won back
+    #: (``None`` when the attack did not measurably bite).
+    recovery: float | None
+    recovery_grade: Grade
+    slowdown: float | None
+    slowdown_grade: Grade
+    dialability: float
+    dialability_grade: Grade
+
+    @property
+    def grade(self) -> Grade:
+        return worst_grade(
+            [self.recovery_grade, self.slowdown_grade, self.dialability_grade]
+        )
+
+
+def _grade_attack(
+    clean: AttackCellResult,
+    attacked: AttackCellResult,
+    defended: AttackCellResult,
+) -> AttackGradeRow:
+    suppression = clean.success_rate - attacked.success_rate
+    if suppression > SUPPRESSION_EPSILON:
+        recovery = (defended.success_rate - attacked.success_rate) / suppression
+        _, recovery_grade = grade_at_least(recovery, 0.5, 0.5)
+    else:
+        recovery, recovery_grade = None, Grade.PASS
+
+    clean_p50, _ = clean.ttfb()
+    defended_p50, _ = defended.ttfb()
+    if defended_p50 is None or clean_p50 is None or clean_p50 <= 0:
+        slowdown, slowdown_grade = None, Grade.FAIL
+    else:
+        slowdown = defended_p50 / clean_p50
+        _, slowdown_grade = grade_at_least(TTFB_SLOWDOWN_CAP / slowdown, 1.0, 1.0)
+
+    if clean.dialability > 0:
+        _, dialability_grade = grade_at_least(
+            defended.dialability, DIALABILITY_FLOOR * clean.dialability, 0.5
+        )
+    else:
+        dialability_grade = Grade.FAIL
+
+    return AttackGradeRow(
+        attack=attacked.attack,
+        intensity=attacked.intensity,
+        clean_success=clean.success_rate,
+        attacked_success=attacked.success_rate,
+        defended_success=defended.success_rate,
+        suppression=suppression,
+        recovery=recovery,
+        recovery_grade=recovery_grade,
+        slowdown=slowdown,
+        slowdown_grade=slowdown_grade,
+        dialability=defended.dialability,
+        dialability_grade=dialability_grade,
+    )
+
+
+@dataclass
+class AttackReport:
+    """Graded matrix: the artifact behind ``BENCH_attack.json``."""
+
+    results: AttackMatrixResults
+    rows: list[AttackGradeRow]
+    clean_grade: Grade
+
+    @property
+    def overall(self) -> Grade:
+        return worst_grade([self.clean_grade] + [row.grade for row in self.rows])
+
+    # -- canonical artifact -------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        config = self.results.config
+
+        def r(value):
+            return None if value is None else round(value, 6)
+
+        cells = []
+        for cell in self.results.cells:
+            p50, p95 = cell.ttfb()
+            cells.append({
+                "attack": cell.attack,
+                "intensity": r(cell.intensity),
+                "defense": cell.defense,
+                "attempted": cell.attempted,
+                "succeeded": cell.succeeded,
+                "success_rate": r(cell.success_rate),
+                "ttfb_p50": r(p50),
+                "ttfb_p95": r(p95),
+                "dialability": r(cell.dialability),
+                "dials_attempted": cell.dials_attempted,
+                "dials_succeeded": cell.dials_succeeded,
+                "faults_injected": cell.faults_injected,
+                "retries_attempted": cell.retries_attempted,
+                "records_suppressed": cell.records_suppressed,
+                "queries_censored": cell.queries_censored,
+            })
+        rows = [
+            {
+                "attack": row.attack,
+                "intensity": r(row.intensity),
+                "clean_success": r(row.clean_success),
+                "attacked_success": r(row.attacked_success),
+                "defended_success": r(row.defended_success),
+                "suppression": r(row.suppression),
+                "recovery": r(row.recovery),
+                "recovery_grade": row.recovery_grade.value,
+                "slowdown": r(row.slowdown),
+                "slowdown_grade": row.slowdown_grade.value,
+                "dialability": r(row.dialability),
+                "dialability_grade": row.dialability_grade.value,
+                "grade": row.grade.value,
+            }
+            for row in self.rows
+        ]
+        return {
+            "schema": "repro.attack/v1",
+            "config": {
+                "seed": config.seed,
+                "n_peers": config.n_peers,
+                "retrievals_per_cell": config.retrievals_per_cell,
+                "object_size": config.object_size,
+                "retrieval_budget_s": r(config.retrieval_budget_s),
+                "defenses": list(config.defenses),
+                "attacks": [
+                    {"kind": attack.kind, "intensity": r(attack.intensity)}
+                    for attack in config.attacks
+                ],
+            },
+            "cells": cells,
+            "grades": rows,
+            "clean_grade": self.clean_grade.value,
+            "overall": self.overall.value,
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes: stable ordering, no timestamps, 6-decimal
+        floats — ``cmp``-able against a committed baseline."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        lines = [
+            "attack matrix "
+            f"(n_peers={self.results.config.n_peers}, "
+            f"retrievals={self.results.config.retrievals_per_cell}, "
+            f"defenses={'/'.join(self.results.config.defenses)})",
+            "",
+            f"{'attack':<14} {'clean':>6} {'hit':>6} {'def':>6} "
+            f"{'recov':>6} {'slow':>6} {'grade':>5}",
+        ]
+        for row in self.rows:
+            recovery = "-" if row.recovery is None else f"{row.recovery:.2f}"
+            slowdown = "-" if row.slowdown is None else f"{row.slowdown:.1f}x"
+            lines.append(
+                f"{row.attack:<14} {row.clean_success:>6.2f} "
+                f"{row.attacked_success:>6.2f} {row.defended_success:>6.2f} "
+                f"{recovery:>6} {slowdown:>6} {row.grade.value:>5}"
+            )
+        lines.append("")
+        lines.append(
+            f"clean floor: {self.clean_grade.value}   "
+            f"overall: {self.overall.value}"
+        )
+        return "\n".join(lines)
+
+
+def grade_matrix(results: AttackMatrixResults) -> AttackReport:
+    """Grade every attacked kind against the clean cell."""
+    clean = results.cell("none", "off")
+    _, clean_grade = grade_at_least(
+        clean.success_rate, CLEAN_SUCCESS_FLOOR, 0.25
+    )
+    rows = [
+        _grade_attack(
+            clean,
+            results.cell(attack.kind, "off"),
+            results.cell(attack.kind, "on"),
+        )
+        for attack in results.config.attacks
+        if attack.kind != "none"
+    ]
+    return AttackReport(results=results, rows=rows, clean_grade=clean_grade)

@@ -18,7 +18,7 @@ from repro.multiformats.cid import Cid
 from repro.multiformats.multicodec import CODEC_DAG_PB
 from repro.multiformats.peerid import PeerId
 from repro.simnet.sim import Future, TimeoutError_, with_timeout
-from repro.utils.retry import RetryPolicy, retry
+from repro.utils.retry import JitterStreams, RetryPolicy, retry
 
 
 class BitswapSession:
@@ -53,6 +53,9 @@ class BitswapSession:
         #: fed to the RTT estimator (they are bandwidth-bound, which
         #: would pollute the control-plane RTT estimate).
         self.resilience = resilience
+        #: per-provider jitter streams so sessions re-wanting after the
+        #: same silence window don't back off in lockstep.
+        self._jitter = JitterStreams(str(engine.host.peer_id), "bitswap-jitter")
         self.blocks_fetched = 0
         self.bytes_fetched = 0
 
@@ -91,7 +94,7 @@ class BitswapSession:
             if isinstance(error, TimeoutError_):
                 network.stats.rpcs_timed_out += 1
 
-        rng = self.rng if self.rng is not None else random.Random(0)
+        rng = self._jitter.for_peer(peer_id)
         result = yield from retry(self.engine.sim, rng, policy, attempt, on_retry)
         return result
 

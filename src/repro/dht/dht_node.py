@@ -37,7 +37,7 @@ from repro.multiformats.peerid import PeerId
 from repro.resilience import DISABLED_RESILIENCE_CONFIG, Resilience
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.sim import Future, Simulator, TimeoutError_, all_of, with_timeout
-from repro.utils.retry import retry
+from repro.utils.retry import JitterStreams, retry
 
 #: How long a record holder trusts a provider's self-reported address
 #: (go-ipfs peerstore provider-address TTL is 30 minutes).
@@ -73,6 +73,10 @@ class DhtNode:
         )
         if self.resilience.breakers_on:
             self.routing_table.breakers = self.resilience.breakers
+        #: per-remote-peer RNG streams for retry backoff jitter, so one
+        #: incident failing many RPCs at once cannot re-fire them in
+        #: lockstep (see :class:`~repro.utils.retry.JitterStreams`).
+        self.retry_jitter = JitterStreams(str(host.peer_id))
         self.provider_store = ProviderStore()
         self.peer_record_store = PeerRecordStore()
         #: addresses self-reported by providers in ADD_PROVIDER, kept
@@ -244,7 +248,10 @@ class DhtNode:
                     self.network.stats.rpcs_timed_out += 1
 
             future = self.sim.spawn(
-                retry(self.sim, self.rng, policy, attempt, on_retry)
+                retry(
+                    self.sim, self.retry_jitter.for_peer(peer_id), policy,
+                    attempt, on_retry,
+                )
             ).future
         if self.resilience.breakers_on:
             def feed_breaker(settled: Future) -> None:
@@ -294,7 +301,9 @@ class DhtNode:
         with tracer.span("dht.provide", cid=str(cid)) as provide_span:
             key = key_for_cid(cid)
             walk_start = self.sim.now
-            closest, stats = yield from get_closest_peers(self, key)
+            closest, stats = yield from get_closest_peers(
+                self, key, k=self.config.store_k
+            )
             walk_duration = self.sim.now - walk_start
             if not closest:
                 raise PublishError(f"no peers found to store provider record for {cid}")
@@ -340,7 +349,9 @@ class DhtNode:
         with self.network.tracer.span("dht.put_peer_record") as span:
             record = PeerRecord(self.host.peer_id, addresses, self.sim.now)
             key = key_for_peer(self.host.peer_id)
-            closest, stats = yield from get_closest_peers(self, key)
+            closest, stats = yield from get_closest_peers(
+                self, key, k=self.config.store_k
+            )
             futures = [
                 self._store_rpc(
                     peer_id, rpc.PUT_PEER_RECORD, rpc.PutPeerRecordRequest(record),
@@ -364,7 +375,9 @@ class DhtNode:
     def put_value(self, key: bytes, value: bytes) -> Generator:
         """Store an opaque value on the k closest peers (IPNS publish)."""
         with self.network.tracer.span("dht.put_value") as span:
-            closest, stats = yield from get_closest_peers(self, key)
+            closest, stats = yield from get_closest_peers(
+                self, key, k=self.config.store_k
+            )
             futures = [
                 self._store_rpc(
                     peer_id, rpc.PUT_VALUE, rpc.PutValueRequest(key, value),

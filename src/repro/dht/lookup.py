@@ -59,6 +59,12 @@ class LookupConfig:
     #: consecutive query failures before a peer is evicted from the
     #: routing table (1 = evict immediately, the v0.10 behaviour).
     failure_threshold: int = 1
+    #: replication factor for record *stores* only (provide /
+    #: put_value / peer records). ``None`` keeps the paper's k = 20;
+    #: a larger value is the hydra-style extra-replication defense —
+    #: records land on more peers than a Sybil ring can occupy, at the
+    #: cost of a longer store walk. Lookups always use ``k``.
+    store_k: int | None = None
 
 
 @dataclass
@@ -92,11 +98,20 @@ class _Candidate:
 class _Walk:
     """Shared machinery for all three walk kinds."""
 
-    def __init__(self, node: "DhtNode", target_key: bytes, kind: str = "closest") -> None:
+    def __init__(
+        self,
+        node: "DhtNode",
+        target_key: bytes,
+        kind: str = "closest",
+        k: int | None = None,
+    ) -> None:
         self.node = node
         self.config = node.config
         self.res = node.resilience
         self.kind = kind
+        #: result-set size; ``config.k`` unless the caller overrides it
+        #: (the store-replication defense widens closest-peers walks).
+        self.k = k if k is not None else self.config.k
         self.target_key = target_key
         self.target_int = int.from_bytes(target_key, "big")
         self.stats = LookupStats()
@@ -118,7 +133,7 @@ class _Walk:
         # Seed with a full bucket's worth of candidates even when the
         # walk only needs the k closest (a k=1 walk seeded with one
         # possibly-dead peer would abort instantly).
-        seeds = node.routing_table.closest(target_key, max(self.config.k, 20))
+        seeds = node.routing_table.closest(target_key, max(self.k, 20))
         for peer_id in seeds:
             self._add_candidate(peer_id, depth=0)
 
@@ -194,7 +209,9 @@ class _Walk:
 
             future = self.node.sim.spawn(
                 retry(
-                    self.node.sim, self.node.rng, policy, attempt, on_retry,
+                    self.node.sim,
+                    self.node.retry_jitter.for_peer(candidate.peer_id),
+                    policy, attempt, on_retry,
                     # Adaptive mode keeps the whole retried hop inside
                     # the fixed budget one un-retried hop used to get.
                     deadline_s=(
@@ -316,7 +333,7 @@ class _Walk:
         while True:
             live = self._sorted_live()
             if want_closest:
-                top = live[: config.k]
+                top = live[: self.k]
                 if top and all(c.state == "ok" for c in top):
                     return [c.peer_id for c in top]
             # Launch new RPCs from the closest unqueried candidates.
@@ -341,7 +358,7 @@ class _Walk:
                 # Exhausted: nothing in flight and nothing new to ask.
                 self.stats.exhausted = True
                 done = [c for c in self._sorted_live() if c.state == "ok"]
-                return [c.peer_id for c in done[: config.k]]
+                return [c.peer_id for c in done[: self.k]]
             waiters = [f for _, f in self.inflight.values()]
             if res.hedging_on:
                 # A hedge timer firing must wake the suspended loop so
@@ -411,9 +428,15 @@ class _Walk:
                 return [c.peer_id for c in self._sorted_live() if c.state == "ok"]
 
 
-def get_closest_peers(node: "DhtNode", target_key: bytes) -> Generator:
-    """The closest-peers walk; returns ``(peers, stats)``."""
-    walk = _Walk(node, target_key, kind="closest")
+def get_closest_peers(
+    node: "DhtNode", target_key: bytes, k: int | None = None
+) -> Generator:
+    """The closest-peers walk; returns ``(peers, stats)``.
+
+    ``k`` overrides the result-set size (defaults to ``config.k``);
+    the store paths pass ``config.store_k`` for extra replication.
+    """
+    walk = _Walk(node, target_key, kind="closest", k=k)
 
     def make_request() -> tuple[str, Any, int]:
         return rpc.FIND_NODE, rpc.FindNodeRequest(target_key), 64

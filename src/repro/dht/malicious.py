@@ -1,0 +1,60 @@
+"""Adversarial DHT node behaviours (the attacker side of
+:mod:`repro.adversary`).
+
+The Sybil/eclipse attacker from "Mapping the Interplanetary
+Filesystem" does not need to break the protocol to censor content: it
+mines peer IDs into the XOR neighbourhood of a target CID, lets honest
+publishers store their provider records on it, and then *withholds*
+those records from GET_PROVIDERS queries while answering FIND_NODE
+truthfully. Truthful routing answers are what make the attack sticky —
+the Sybils look like model citizens to every walk that touches them,
+so routing tables keep them in the target's 20-closest set.
+
+:class:`MaliciousDhtNode` implements exactly that: a protocol-conformant
+node that accepts-and-discards ADD_PROVIDER and answers GET_PROVIDERS
+with an empty provider list (plus honest closer peers). Everything
+else — FIND_NODE, peer records, values — behaves like an honest server,
+which is both the realistic attacker model and what keeps the
+simulation's routing dynamics intact.
+"""
+
+from __future__ import annotations
+
+from repro.dht import rpc
+from repro.dht.dht_node import DhtNode
+from repro.multiformats.peerid import PeerId
+
+
+class MaliciousDhtNode(DhtNode):
+    """A DHT server that suppresses provider records for every CID.
+
+    Scoping the censorship to one CID is unnecessary: the attacker's
+    Sybils are *placed* in the target CID's keyspace neighbourhood, so
+    in practice only records for that CID ever reach them. Suppressing
+    everything keeps the implementation honest about what the attacker
+    can see.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: provider records accepted over the wire and silently dropped.
+        self.records_suppressed = 0
+        #: GET_PROVIDERS queries answered with a censored (empty) set.
+        self.queries_censored = 0
+
+    def _on_add_provider(self, sender: PeerId, request: rpc.AddProviderRequest):
+        # Acknowledge like an honest node — the publisher counts this
+        # as a successful store — but never write the record down.
+        self._learn_about(sender)
+        self.records_suppressed += 1
+        return True, 16
+
+    def _on_get_providers(self, sender: PeerId, request: rpc.GetProvidersRequest):
+        # Truthful closer peers, empty provider set: the walk keeps
+        # converging on the Sybil ring and keeps finding nothing.
+        self._learn_about(sender)
+        self.queries_censored += 1
+        response = rpc.GetProvidersResponse(
+            (), self._closer_peers(request.cid_key), ()
+        )
+        return response, response.wire_size()

@@ -307,7 +307,9 @@ class IpfsNode:
                     else:
                         try:
                             yield from retry(
-                                self.sim, self.rng, self.config.dial_retry,
+                                self.sim,
+                                self.dht.retry_jitter.for_peer(provider),
+                                self.config.dial_retry,
                                 lambda _attempt: self.network.dial(self.host, provider),
                                 self._count_retry,
                             )
@@ -459,8 +461,8 @@ class IpfsNode:
                     return self.network.dial(self.host, peer_id)
 
                 future = self.sim.spawn(
-                    retry(self.sim, self.rng, self.config.dial_retry,
-                          attempt, self._count_retry)
+                    retry(self.sim, self.dht.retry_jitter.for_peer(peer_id),
+                          self.config.dial_retry, attempt, self._count_retry)
                 ).future
 
                 def feed(settled: Future) -> None:

@@ -83,6 +83,12 @@ class FaultRule:
     probability: float = 1.0
     peers: frozenset = frozenset()  # frozenset[PeerId]; empty = all
     regions: frozenset = frozenset()  # frozenset[Region]; empty = all
+    #: RPC methods the rule applies to (e.g. ``dht/GET_PROVIDERS``);
+    #: empty matches every method. Lets a plan model *selective*
+    #: misbehaviour — a malicious intermediary that forwards FIND_NODE
+    #: but drops provider traffic — instead of blanket loss. Dials have
+    #: no method and are never matched by a method-scoped rule.
+    methods: frozenset = frozenset()  # frozenset[str]; empty = all
     start_s: float = 0.0
     end_s: float = math.inf
     slow_factor: float = 10.0
@@ -109,6 +115,17 @@ class FaultRule:
         if self.regions and region not in self.regions:
             return False
         return True
+
+    def matches_method(self, method: str | None) -> bool:
+        """Whether the rule's method scope covers this RPC.
+
+        ``None`` (a dial, or a caller that does not thread the method
+        through) only matches method-unscoped rules, so a scoped rule
+        can never fire on traffic it cannot identify.
+        """
+        if not self.methods:
+            return True
+        return method is not None and method in self.methods
 
     def severs(self, src_region: Region, dst_region: Region) -> bool:
         """Whether a PARTITION rule cuts the src->dst path."""
@@ -180,12 +197,16 @@ class FaultInjector:
                     return True
         return False
 
-    def rpc_fault(self, target: "SimHost", now: float) -> FaultKind | None:
+    def rpc_fault(
+        self, target: "SimHost", now: float, method: str | None = None
+    ) -> FaultKind | None:
         """Pick the fault (if any) to apply to one RPC toward ``target``.
 
         Rules are evaluated in plan order; the first one that fires
         wins. PARTITION and SLOW are handled elsewhere (:meth:`severed`
-        / :meth:`processing_factor`) and skipped here.
+        / :meth:`processing_factor`) and skipped here. ``method`` lets
+        method-scoped rules (selective censorship) match only the RPCs
+        they name.
         """
         for rule in self.plan.rules:
             if rule.kind in (FaultKind.PARTITION, FaultKind.SLOW):
@@ -193,6 +214,8 @@ class FaultInjector:
             if not rule.active_at(now):
                 continue
             if not rule.targets(target.peer_id, target.region):
+                continue
+            if not rule.matches_method(method):
                 continue
             if rule.probability <= 0.0:
                 continue

@@ -480,7 +480,7 @@ class SimNetwork:
                     PartitionError(f"partition severs RPC {src.peer_id} -> {target_id}")
                 )
                 return
-            fault = self.faults.rpc_fault(target, self.sim.now)
+            fault = self.faults.rpc_fault(target, self.sim.now, method)
             if fault is not None:
                 self.stats.faults_injected += 1
 
@@ -504,9 +504,29 @@ class SimNetwork:
             self.sim.schedule(upstream, reset)
             return
 
+        def _severed_in_flight(endpoint: SimHost, toward: Region) -> bool:
+            """A partition that activated while this RPC was on the
+            wire: traffic already in flight dies at the fault boundary
+            exactly like a freshly-issued RPC, instead of slipping
+            through a cut that tore its connection down."""
+            if future.done or self.faults is None:
+                return False
+            if not self.faults.severed(endpoint, toward, self.sim.now):
+                return False
+            self.stats.faults_injected += 1
+            self.disconnect(src, target_id)
+            future.fail(
+                PartitionError(
+                    f"partition severs in-flight RPC {src.peer_id} -> {target_id}"
+                )
+            )
+            return True
+
         def deliver() -> None:
             if not target.online:
                 return  # request lost; caller's timeout handles it
+            if _severed_in_flight(src, target.region):
+                return  # the request never crosses the new cut
             processing = self.latency.processing_delay(target.peer_class, self.rng)
             if self.faults is not None:
                 processing *= self.faults.processing_factor(target, self.sim.now)
@@ -546,6 +566,8 @@ class SimNetwork:
                 # The caller's timeout already abandoned this RPC (see
                 # with_timeout); a late reply is not a completion.
                 return
+            if _severed_in_flight(target, src.region):
+                return  # the response dies crossing back over the cut
             self.stats.rpcs_completed += 1
             future.resolve(response)
 

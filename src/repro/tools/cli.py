@@ -18,6 +18,14 @@ import argparse
 import dataclasses
 import sys
 
+from repro.adversary import (
+    AttackMatrixConfig,
+    AttackSpec,
+    bench_attack_config,
+    grade_matrix,
+    run_attack_matrix,
+)
+from repro.adversary.attacks import ATTACK_KINDS
 from repro.experiments.chaos import (
     ChaosConfig,
     run_chaos_experiment,
@@ -201,6 +209,30 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--export", metavar="FILE", default=None,
                           help="write the fidelity JSON artifact "
                                "(BENCH_fidelity.json style)")
+
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial attack x defense matrix with graded degradation",
+    )
+    attack.add_argument("--peers", type=int, default=160)
+    attack.add_argument("--retrievals", type=int, default=6,
+                        help="retrievals per matrix cell")
+    attack.add_argument("--attacks", default=None,
+                        help="comma-separated attack kinds "
+                             f"(default: all of {','.join(ATTACK_KINDS)})")
+    attack.add_argument("--intensity", type=float, default=1.0,
+                        help="attack intensity in [0, 1] for every "
+                             "non-'none' attack")
+    attack.add_argument("--workers", type=int, default=1,
+                        help="worker processes sharding the matrix "
+                             "cells; output is identical for any value")
+    attack.add_argument("--export", metavar="FILE", default=None,
+                        help="write the graded attack JSON artifact "
+                             "(BENCH_attack.json style)")
+    attack.add_argument("--bench", action="store_true",
+                        help="use the frozen BENCH_attack.json "
+                             "configuration (overrides --peers/"
+                             "--retrievals/--attacks/--intensity)")
     return parser
 
 
@@ -472,6 +504,41 @@ def _cmd_validate(args) -> int:
     return 1 if report.failed() else 0
 
 
+def _cmd_attack(args) -> int:
+    """Graded attack/defense matrix; exit 1 when any grade FAILs."""
+    if args.bench:
+        config = bench_attack_config()
+        if args.seed != 42:
+            config = dataclasses.replace(config, seed=args.seed)
+    else:
+        if args.attacks is None:
+            kinds = ATTACK_KINDS
+        else:
+            kinds = tuple(part.strip() for part in args.attacks.split(","))
+        if "none" not in kinds:
+            kinds = ("none",) + kinds  # grading needs the clean cell
+        attacks = tuple(
+            AttackSpec(kind)
+            if kind == "none"
+            else AttackSpec(kind, intensity=args.intensity)
+            for kind in kinds
+        )
+        config = AttackMatrixConfig(
+            seed=args.seed,
+            n_peers=args.peers,
+            retrievals_per_cell=args.retrievals,
+            attacks=attacks,
+        )
+    results = run_attack_matrix(config, workers=args.workers)
+    report = grade_matrix(results)
+    print(report.render_text())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nwrote graded attack matrix to {args.export}")
+    return 1 if report.overall.value == "FAIL" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -483,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
         "gateway": _cmd_gateway,
         "trace": _cmd_trace,
         "validate": _cmd_validate,
+        "attack": _cmd_attack,
     }
     return handlers[args.command](args) or 0
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.errors import ReproError
 from repro.simnet.sim import Future, Simulator, TimeoutError_, with_timeout
+from repro.utils.rng import derive_rng
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,40 @@ class RetryPolicy:
                 max(self.base_delay_s, rng.uniform(0.0, exponential)),
             )
         return exponential
+
+
+class JitterStreams:
+    """Deterministic per-peer RNG streams for retry jitter.
+
+    When one incident fails many in-flight operations at once — a churn
+    storm knocks a wave of peers offline, a partition heals — every
+    caller that jitters its backoff from a *shared* RNG stream draws in
+    the same order and can re-fire in lockstep: the synchronized retry
+    storm jittered backoff exists to prevent. Deriving one stream per
+    (owner, remote peer) pair decorrelates the schedules — two nodes
+    backing off from the same peer, or one node backing off from two
+    peers, draw from unrelated streams — while keeping every delay a
+    pure function of the owner identity, so seeded runs stay
+    reproducible for any interleaving of retries.
+
+    Streams are created lazily on first use; an operation that never
+    retries (or whose policy is unjittered) never draws, so runs
+    without retries remain byte-identical to the pre-jitter tree.
+    """
+
+    def __init__(self, owner: int | str | bytes, *labels: str) -> None:
+        self._owner = owner
+        self._labels = labels if labels else ("retry-jitter",)
+        self._streams: dict[str, random.Random] = {}
+
+    def for_peer(self, peer_id: object) -> random.Random:
+        """The owner's jitter stream toward ``peer_id`` (cached)."""
+        key = str(peer_id)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = derive_rng(self._owner, *self._labels, key)
+            self._streams[key] = stream
+        return stream
 
 
 #: Factory invoked once per attempt; returns the attempt's future.

@@ -1,0 +1,51 @@
+"""Tests for Sybil identity mining."""
+
+import pytest
+
+from repro.adversary.sybil import closest_distance, mine_sybil_ids
+from repro.dht.keyspace import key_for_cid
+from repro.errors import ReproError
+from repro.multiformats.cid import make_cid
+from repro.multiformats.peerid import PeerId
+
+KEY = key_for_cid(make_cid(b"eclipse target"))
+TARGET_INT = int.from_bytes(KEY, "big")
+
+
+class TestClosestDistance:
+    def test_returns_the_minimum_xor_distance(self):
+        peers = [PeerId.from_public_key(b"cd-%d" % i) for i in range(50)]
+        expected = min(p.dht_key_int() ^ TARGET_INT for p in peers)
+        assert closest_distance(KEY, peers) == expected
+
+    def test_empty_iterable_raises(self):
+        with pytest.raises(ReproError):
+            closest_distance(KEY, [])
+
+
+class TestMineSybilIds:
+    def test_mining_is_a_pure_function_of_the_label(self):
+        first = mine_sybil_ids(KEY, 5, label="sybil-7")
+        again = mine_sybil_ids(KEY, 5, label="sybil-7")
+        assert first == again
+
+    def test_different_labels_mine_different_identities(self):
+        assert mine_sybil_ids(KEY, 5, label="a") != mine_sybil_ids(
+            KEY, 5, label="b"
+        )
+
+    def test_mined_ids_beat_the_closeness_threshold(self):
+        honest = [PeerId.from_public_key(b"honest-%d" % i) for i in range(200)]
+        threshold = closest_distance(KEY, honest)
+        mined = mine_sybil_ids(KEY, 20, closer_than=threshold)
+        assert len(mined) == 20
+        assert len(set(mined)) == 20
+        for peer_id in mined:
+            assert peer_id.dht_key_int() ^ TARGET_INT < threshold
+
+    def test_zero_count_mines_nothing(self):
+        assert mine_sybil_ids(KEY, 0) == []
+
+    def test_impossible_threshold_raises_instead_of_spinning(self):
+        with pytest.raises(ReproError):
+            mine_sybil_ids(KEY, 1, closer_than=1, max_candidates=500)

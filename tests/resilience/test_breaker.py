@@ -197,3 +197,80 @@ class TestTransitionHook:
         assert seen == [
             (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)
         ]
+
+
+class TestSustainedAttack:
+    """Cooldown escalation against an eclipsing peer that keeps failing.
+
+    The adversarial shape (repro.adversary's Sybil ring): a peer that
+    answers routing but fails every useful request, for longer than any
+    single cooldown. Each failed half-open probe must escalate the
+    cooldown — the defender backs off the attacker geometrically rather
+    than re-probing on a fixed clock — and one success after the attack
+    window closes must fully reset it.
+    """
+
+    def test_repeated_trips_escalate_then_recover(self):
+        from repro.adversary.sybil import mine_sybil_ids
+
+        clock = Clock()
+        registry = make(clock, cooldown_s=90.0)
+        (sybil,) = mine_sybil_ids(b"\x5a" * 32, 1, label="breaker-sybil")
+
+        for _ in range(3):
+            registry.record_failure(sybil)
+        assert registry.state(sybil) == OPEN
+        assert not registry.allow(sybil)
+
+        # Probe 1 fails: cooldown escalates 90 -> 180.
+        clock.now = 90.0
+        assert registry.allow(sybil)
+        registry.record_failure(sybil)
+        clock.now = 90.0 + 90.0
+        assert not registry.allow(sybil)  # the base cooldown is history
+        clock.now = 90.0 + 180.0
+
+        # Probe 2 fails: 180 -> 360.
+        assert registry.allow(sybil)
+        registry.record_failure(sybil)
+        clock.now = 270.0 + 180.0
+        assert not registry.allow(sybil)
+        clock.now = 270.0 + 360.0
+
+        # Probe 3 fails: 360 -> 720, capped at max_cooldown_s = 600.
+        assert registry.allow(sybil)
+        registry.record_failure(sybil)
+        clock.now = 630.0 + 360.0
+        assert not registry.allow(sybil)
+        clock.now = 630.0 + 600.0
+        assert registry.allow(sybil)
+
+        # The attack window closes; the probe succeeds. The breaker
+        # closes and the *next* trip waits the base cooldown again.
+        registry.record_success(sybil)
+        assert registry.state(sybil) == CLOSED
+        for _ in range(3):
+            registry.record_failure(sybil)
+        clock.now = 1230.0 + 90.0
+        assert registry.allow(sybil)
+
+    def test_escalation_is_per_peer(self):
+        from repro.adversary.sybil import mine_sybil_ids
+
+        clock = Clock()
+        registry = make(clock, cooldown_s=90.0)
+        ring = mine_sybil_ids(b"\xa5" * 32, 2, label="breaker-ring")
+
+        # Escalate the first Sybil's cooldown to 180.
+        for _ in range(3):
+            registry.record_failure(ring[0])
+        clock.now = 90.0
+        assert registry.allow(ring[0])
+        registry.record_failure(ring[0])
+
+        # The second Sybil trips fresh: its cooldown is still the base.
+        for _ in range(3):
+            registry.record_failure(ring[1])
+        clock.now = 90.0 + 90.0
+        assert registry.allow(ring[1])   # base cooldown elapsed
+        assert not registry.allow(ring[0])  # escalated: needs 180 more

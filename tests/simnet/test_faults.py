@@ -141,6 +141,62 @@ class TestFaultKinds:
         assert sim.run_process(proc()) == "severed"
         assert not a.is_connected(b.peer_id)
 
+    def test_partition_severs_request_already_in_flight(self):
+        """A partition activating while the request is on the wire kills
+        it at the fault boundary — in-flight RPCs do not slip through a
+        cut that would refuse a fresh one."""
+        groups = (
+            frozenset({Region.EU}), frozenset({Region.NA_WEST}),
+        )
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(
+                FaultRule(
+                    FaultKind.PARTITION, partition_groups=groups,
+                    # Active a hair after the RPC is issued at t=10.0;
+                    # the EU -> NA_WEST one-way latency is far larger
+                    # than 1 ms, so the cut lands mid-flight.
+                    start_s=10.001,
+                )
+            ),
+            region_b=Region.NA_WEST,
+        )
+
+        def proc():
+            yield net.dial(a, b.peer_id)
+            yield 10.0 - sim.now
+            try:
+                yield net.rpc(a, b.peer_id, "PING", None)
+            except PartitionError:
+                return "severed-in-flight"
+
+        assert sim.run_process(proc()) == "severed-in-flight"
+        assert not a.is_connected(b.peer_id)
+        assert net.stats.faults_injected == 1
+
+    def test_partition_severs_response_crossing_back(self):
+        """The cut can also land between delivery and reply: the
+        response dies crossing back instead of completing the RPC."""
+        groups = (
+            frozenset({Region.EU}), frozenset({Region.NA_WEST}),
+        )
+        sim, net, a, b, _ = make_world(
+            FaultPlan.of(
+                # x1000 on a SLOW-class peer pins processing above
+                # 150 s, so the request delivers long before the cut
+                # (30 s) and the response is what crosses it.
+                FaultRule(FaultKind.SLOW, slow_factor=1000.0),
+                FaultRule(
+                    FaultKind.PARTITION, partition_groups=groups,
+                    start_s=30.0,
+                ),
+            ),
+            region_b=Region.NA_WEST,
+            class_b=PeerClass.SLOW,
+        )
+        result = ping(sim, net, a, b, timeout_s=600.0)
+        assert isinstance(result, PartitionError)
+        assert not a.is_connected(b.peer_id)
+
     def test_region_in_no_partition_group_is_untouched(self):
         groups = (
             frozenset({Region.SA}), frozenset({Region.NA_WEST}),
@@ -189,6 +245,41 @@ class TestSchedulingAndScope:
         ))
         assert ping(sim, net, a, b) == "timeout"
         assert ping(sim, net, a, c) == "pong"
+
+    def test_method_scoping_drops_only_named_rpcs(self):
+        """A method-scoped rule is selective censorship: the named RPC
+        vanishes while everything else to the same peer flows."""
+        sim, net, a, b, injector = make_world(
+            FaultPlan.of(
+                FaultRule(FaultKind.LOSS, methods=frozenset({"STORE"}))
+            )
+        )
+        b.register_handler("STORE", lambda sender, payload: ("stored", 16))
+
+        def call(method):
+            def proc():
+                try:
+                    response = yield with_timeout(
+                        sim, net.rpc(a, b.peer_id, method, None), 30.0
+                    )
+                except TimeoutError_:
+                    return "timeout"
+                return response
+
+            return sim.run_process(proc())
+
+        assert call("PING") == "pong"
+        assert call("STORE") == "timeout"
+        assert injector.stats.by_kind == {"loss": 1}
+
+    def test_method_scoped_rule_never_matches_unidentified_traffic(self):
+        rule = FaultRule(FaultKind.LOSS, methods=frozenset({"STORE"}))
+        assert rule.matches_method("STORE")
+        assert not rule.matches_method("PING")
+        assert not rule.matches_method(None)
+        unscoped = FaultRule(FaultKind.LOSS)
+        assert unscoped.matches_method("STORE")
+        assert unscoped.matches_method(None)
 
     def test_zero_probability_injects_nothing_and_draws_no_rng(self):
         sim, net, a, b, injector = make_world(FaultPlan.rpc_loss(0.0))

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.simnet.sim import Future, Simulator, TimeoutError_
-from repro.utils.retry import RetryPolicy, retry
+from repro.utils.retry import JitterStreams, RetryPolicy, retry
 from repro.utils.rng import derive_rng
 
 
@@ -240,3 +240,52 @@ class TestRetryDriver:
         assert attempts == list(range(1, 9))
         # 7 sleeps, each within [base, cap].
         assert 7 * 0.5 <= now <= 7 * 3.0
+
+
+class TestJitterStreams:
+    def test_same_owner_and_peer_reproduce_the_stream(self):
+        a = JitterStreams("owner").for_peer("peer-1")
+        b = JitterStreams("owner").for_peer("peer-1")
+        assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+    def test_streams_are_cached_per_peer(self):
+        streams = JitterStreams("owner")
+        assert streams.for_peer("peer-1") is streams.for_peer("peer-1")
+
+    def test_different_peers_get_decorrelated_streams(self):
+        streams = JitterStreams("owner")
+        first = [streams.for_peer("peer-1").random() for _ in range(8)]
+        second = [streams.for_peer("peer-2").random() for _ in range(8)]
+        assert first != second
+
+    def test_different_owners_get_decorrelated_streams(self):
+        first = [JitterStreams("a").for_peer("p").random() for _ in range(8)]
+        second = [JitterStreams("b").for_peer("p").random() for _ in range(8)]
+        assert first != second
+
+    def test_no_lockstep_backoff_across_peers(self):
+        """The failure mode the per-peer streams exist to prevent: many
+        retries jittering off one shared stream would re-fire with
+        identical (or phase-shifted but correlated) schedules."""
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.5, max_delay_s=30.0, jitter="full"
+        )
+        streams = JitterStreams("retrier")
+        schedules = []
+        for peer in ("peer-1", "peer-2", "peer-3"):
+            rng = streams.for_peer(peer)
+            previous = policy.base_delay_s
+            delays = []
+            for attempt in range(1, 4):
+                delay = policy.next_delay(attempt, previous, rng)
+                previous = delay
+                delays.append(delay)
+            schedules.append(delays)
+        assert len({tuple(s) for s in schedules}) == len(schedules)
+
+    def test_labels_partition_the_namespace(self):
+        plain = JitterStreams("owner").for_peer("p")
+        labelled = JitterStreams("owner", "bitswap-jitter").for_peer("p")
+        assert [plain.random() for _ in range(4)] != [
+            labelled.random() for _ in range(4)
+        ]
