@@ -120,7 +120,9 @@ class Crawler:
     def _visit(self, peer_id: PeerId, result: CrawlResult) -> Generator:
         """Dial one peer and dump its buckets; returns found PeerIds."""
         try:
-            yield self.network.dial(self.host, peer_id)
+            # The crawler measures raw dialability: no relay or
+            # hole-punch upgrades, exactly like the paper's crawler.
+            yield self.network.dial(self.host, peer_id, traverse=False)
         except Exception:  # noqa: BLE001 - undialable covers all faults
             result.undialable.add(peer_id)
             return []

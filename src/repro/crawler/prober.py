@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.multiformats.peerid import PeerId
 from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.relay import cold_dialable
 from repro.simnet.sim import Simulator
 
 MIN_INTERVAL_S = 30.0
@@ -78,11 +79,15 @@ class UptimeProber:
     def _probe_once(self, peer_id: PeerId) -> Generator:
         self.probes_sent += 1
         if not self.config.probe_via_dial:
+            # Oracle probe: what a full dial *would* observe — online
+            # and either directly bound or behind a NAT that currently
+            # admits strangers (the emergent dialability outcome).
             remote = self.network.host(peer_id)
             yield 0.0
-            return remote is not None and remote.reachable
+            return remote is not None and cold_dialable(remote, self.sim.now)
         try:
-            yield self.network.dial(self.host, peer_id)
+            # Measurement dial: raw reachability, no traversal upgrades.
+            yield self.network.dial(self.host, peer_id, traverse=False)
         except Exception:  # noqa: BLE001 - unreachable in any way
             return False
         self.network.disconnect(self.host, peer_id)

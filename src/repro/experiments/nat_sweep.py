@@ -1,0 +1,546 @@
+"""The dialability sweep: NAT-mode mix x hole-punch adoption x TTL.
+
+Each cell builds a fresh NAT world (:class:`NatWorldConfig` on the
+scenario), runs the paper's crawl/probe campaign to measure the
+*emergent* undialable share, classifies every online peer with AutoNAT
+dial-backs and scores the verdicts against ground truth, then retrieves
+content from a NAT'ed publisher to measure what relaying costs and
+hole punching buys. The grid is sharded through
+:func:`repro.experiments.runner.run_cells`, and results are
+byte-identical for any ``--workers N`` — each cell derives every RNG
+stream from the frozen config, never from shared state.
+
+The report grades four claims through :mod:`repro.validation`:
+
+- the default cell's undialable share lands in the paper's 45.5 %
+  PASS band (``peer.undialable_fraction``, Fig 4a / Section 5.3);
+- AutoNAT agrees with ground-truth NAT modes on >= 95 % of peers;
+- hole-punch adoption does not slow retrieval down (and upgrades
+  punchable paths to direct connections);
+- NAT'ed publishers stay retrievable through relays even with zero
+  adoption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.dht.bootstrap import join_network
+from repro.experiments.chaos import GETTER_REGION, PUBLISHER_REGION, _drain_unpinned
+from repro.experiments.deployment import CrawlCampaignConfig, run_crawl_timeseries
+from repro.experiments.runner import Cell, run_cells
+from repro.experiments.scenario import (
+    DEFAULT_NAT_MIX,
+    NatWorldConfig,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.node.host import IpfsNode
+from repro.simnet.latency import AWS_REGION_MAP, PeerClass
+from repro.simnet.nat import (
+    DEFAULT_MAPPING_TTL_S,
+    AutoNatService,
+    NatBox,
+    NatMode,
+    ground_truth_public,
+    seed_keepalive_mapping,
+)
+from repro.simnet.sim import with_timeout
+from repro.utils.rng import derive_rng
+from repro.utils.stats import percentiles
+from repro.validation.compare import Grade, grade_at_least, worst_grade
+from repro.validation.targets import TARGETS_BY_KEY
+from repro.workloads.population import PopulationConfig, generate_population
+
+#: NAT-mode mixes for the never-reachable cohort. ``cone_heavy`` makes
+#: the mapping-TTL axis bite (full-cone dialability dies with the
+#: mapping); ``symmetric_heavy`` is the punch-hostile arm.
+MIXES: dict[str, tuple[tuple[str, float], ...]] = {
+    "default": DEFAULT_NAT_MIX,
+    "cone_heavy": (
+        (NatMode.FULL_CONE.value, 0.50),
+        (NatMode.ADDRESS_RESTRICTED.value, 0.20),
+        (NatMode.PORT_RESTRICTED.value, 0.20),
+        (NatMode.SYMMETRIC.value, 0.10),
+    ),
+    "symmetric_heavy": (
+        (NatMode.FULL_CONE.value, 0.05),
+        (NatMode.ADDRESS_RESTRICTED.value, 0.15),
+        (NatMode.PORT_RESTRICTED.value, 0.30),
+        (NatMode.SYMMETRIC.value, 0.50),
+    ),
+}
+
+#: The NAT mode of the cell's content publisher: the worst common mode
+#: of each mix that the public getter can still reach.
+PUBLISHER_MODE: dict[str, NatMode] = {
+    "default": NatMode.PORT_RESTRICTED,
+    "cone_heavy": NatMode.ADDRESS_RESTRICTED,
+    "symmetric_heavy": NatMode.SYMMETRIC,
+}
+
+#: NAT mode of the retrieving node (``None`` = public). The
+#: symmetric-heavy arm boxes the getter too: symmetric x symmetric is
+#: the pair DCUtR cannot punch, so adoption buys nothing there and the
+#: relay fallback carries the traffic — graded degradation, not a cliff.
+GETTER_MODE: dict[str, NatMode | None] = {
+    "default": None,
+    "cone_heavy": None,
+    "symmetric_heavy": NatMode.SYMMETRIC,
+}
+
+#: AutoNAT agreement floor asserted by the conformance tier.
+AUTONAT_AGREEMENT_FLOOR = 0.95
+
+#: Minimum retrieval success rate for any cell (relay fallback floor).
+RELAY_SUCCESS_FLOOR = 0.75
+PUNCH_SUCCESS_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class NatSweepConfig:
+    """Frozen inputs of one sweep run (the cache key for artifacts)."""
+
+    seed: int = 42
+    n_peers: int = 250
+    crawl_hours: float = 2.0
+    crawl_interval_s: float = 1800.0
+    autonat_helpers: int = 12
+    retrievals_per_cell: int = 5
+    object_size: int = 16 * 1024
+    retrieval_budget_s: float = 180.0
+    retrieval_spacing_s: float = 130.0
+    mixes: tuple[str, ...] = ("default", "cone_heavy", "symmetric_heavy")
+    adoptions: tuple[float, ...] = (0.0, 1.0)
+    mapping_ttls: tuple[float, ...] = (DEFAULT_MAPPING_TTL_S, 30.0)
+
+
+def bench_nat_config() -> NatSweepConfig:
+    """The CI-sized sweep behind the committed ``BENCH_nat.json``."""
+    return NatSweepConfig(
+        seed=42,
+        n_peers=250,
+        crawl_hours=1.5,
+        retrievals_per_cell=4,
+    )
+
+
+@dataclass
+class NatCellResult:
+    """Everything one (mix, adoption, ttl) cell measured."""
+
+    mix: str
+    adoption: float
+    mapping_ttl_s: float
+    boxed_peers: int
+    undialable: float
+    autonat_agreement: float
+    autonat_checked: int
+    attempted: int
+    latencies: list[float] = field(default_factory=list)
+    punches_attempted: int = 0
+    punches_succeeded: int = 0
+    relay_dials: int = 0
+    direct_upgrades: int = 0
+
+    @property
+    def succeeded(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    def p50(self) -> float | None:
+        if not self.latencies:
+            return None
+        (p50,) = percentiles(self.latencies, [50])
+        return p50
+
+
+def _measure_undialable(scenario: Scenario, config: NatSweepConfig) -> float:
+    campaign = run_crawl_timeseries(
+        scenario,
+        CrawlCampaignConfig(
+            crawl_interval_s=config.crawl_interval_s,
+            duration_s=config.crawl_hours * 3600.0,
+            seed=config.seed,
+        ),
+    )
+    crawls = campaign.timeseries()
+    shares = [u / total for _, total, _, u in crawls if total]
+    return sum(shares) / len(shares) if shares else 0.0
+
+
+def _measure_autonat(
+    scenario: Scenario, config: NatSweepConfig
+) -> tuple[float, int]:
+    """Classify every online backdrop peer; return (agreement, checked)."""
+    service = AutoNatService(scenario.net)
+    # Probe helpers: public peers currently online, the handful of
+    # always-on reliable ones first. Churning helpers can drop offline
+    # mid-probe; the AutoNAT probe timeout abandons those probes.
+    candidates = [
+        node.host
+        for node in scenario.backdrop
+        if node.host.nat is None and node.host.reachable
+    ]
+    candidates.sort(
+        key=lambda host: (
+            scenario.spec_by_peer[host.peer_id].reachability != "reliable"
+        )
+    )
+    helpers = [host.peer_id for host in candidates][: config.autonat_helpers]
+
+    agreements: list[bool] = []
+
+    def classify_all():
+        for node in scenario.backdrop:
+            host = node.host
+            if not host.online:
+                continue
+            candidates = [h for h in helpers if h != host.peer_id]
+            result = yield from service.classify(host, candidates)
+            truth = ground_truth_public(host, scenario.sim.now)
+            agreements.append(result.public == truth)
+
+    scenario.sim.run_process(classify_all())
+    checked = len(agreements)
+    agreement = sum(agreements) / checked if checked else 1.0
+    return agreement, checked
+
+
+def _run_cell(
+    config: NatSweepConfig, mix_name: str, adoption: float, ttl: float
+) -> NatCellResult:
+    """One sweep cell in its own fresh world (picklable for sharding)."""
+    population = generate_population(
+        PopulationConfig(n_peers=config.n_peers),
+        derive_rng(config.seed, "nat-sweep-pop"),
+    )
+    nat_world = NatWorldConfig(
+        mix=MIXES[mix_name], punch_adoption=adoption, mapping_ttl_s=ttl
+    )
+    scenario = build_scenario(
+        population, ScenarioConfig(seed=config.seed, nat_world=nat_world)
+    )
+    sim, net = scenario.sim, scenario.net
+    boxed = sum(1 for node in scenario.backdrop if node.host.nat is not None)
+
+    undialable = _measure_undialable(scenario, config)
+    agreement, checked = _measure_autonat(scenario, config)
+
+    def boxed_node(rng_label: str, region: str, mode: NatMode | None) -> IpfsNode:
+        nat = None
+        if mode is not None:
+            nat = NatBox(
+                mode,
+                mapping_ttl_s=nat_world.mapping_ttl_s,
+                keepalive_interval_s=nat_world.keepalive_interval_s,
+                port_base=500_000,
+            )
+        node = IpfsNode(
+            sim, net,
+            derive_rng(config.seed, rng_label),
+            region=AWS_REGION_MAP[region],
+            peer_class=PeerClass.DATACENTER,
+            nat=nat,
+        )
+        if nat is not None:
+            node.host.dcutr = adoption > 0.0
+            seed_keepalive_mapping(
+                node.host, scenario.bootstrap_ids[0], sim.now
+            )
+            if scenario.circuit_dialer is not None:
+                for relay_id in scenario.circuit_dialer.relay_ids()[:2]:
+                    scenario.circuit_dialer.reserve(node.host, relay_id)
+        return node
+
+    publisher = boxed_node(
+        "nat-sweep-pub", PUBLISHER_REGION, PUBLISHER_MODE[mix_name]
+    )
+    getter = boxed_node("nat-sweep-get", GETTER_REGION, GETTER_MODE[mix_name])
+
+    payload = derive_rng(config.seed, "nat-sweep-object").randbytes(
+        config.object_size
+    )
+    root = publisher.add_bytes(payload).root
+    traversal = scenario.traversal
+    punches_before = (0, 0)
+    if scenario.circuit_dialer is not None:
+        punches_before = (
+            scenario.circuit_dialer.punches_attempted,
+            scenario.circuit_dialer.punches_succeeded,
+        )
+    outcomes: list[float | None] = []
+
+    def driver():
+        yield from join_network(publisher.dht, scenario.bootstrap_ids)
+        yield from join_network(getter.dht, scenario.bootstrap_ids)
+        yield from publisher.publish_peer_record()
+        yield from publisher.publish(root)
+        start = sim.now
+        for index in range(config.retrievals_per_cell):
+            slot = start + index * config.retrieval_spacing_s
+            if slot > sim.now:
+                yield slot - sim.now
+            getter.disconnect_all()
+            getter.address_book.forget(publisher.peer_id)
+            _drain_unpinned(getter)
+            started = sim.now
+            process = sim.spawn(getter.retrieve(root))
+            try:
+                yield with_timeout(sim, process.future, config.retrieval_budget_s)
+            except Exception:  # noqa: BLE001 - a failed retrieval, count it
+                outcomes.append(None)
+            else:
+                outcomes.append(sim.now - started)
+
+    sim.run_process(driver())
+    dialer = scenario.circuit_dialer
+    return NatCellResult(
+        mix=mix_name,
+        adoption=adoption,
+        mapping_ttl_s=ttl,
+        boxed_peers=boxed,
+        undialable=undialable,
+        autonat_agreement=agreement,
+        autonat_checked=checked,
+        attempted=len(outcomes),
+        latencies=[latency for latency in outcomes if latency is not None],
+        punches_attempted=(
+            dialer.punches_attempted - punches_before[0]
+            if dialer is not None
+            else 0
+        ),
+        punches_succeeded=(
+            dialer.punches_succeeded - punches_before[1]
+            if dialer is not None
+            else 0
+        ),
+        relay_dials=traversal.relay_dials if traversal is not None else 0,
+        direct_upgrades=(
+            traversal.upgrades_succeeded if traversal is not None else 0
+        ),
+    )
+
+
+@dataclass
+class NatSweepResults:
+    config: NatSweepConfig
+    cells: list[NatCellResult] = field(default_factory=list)
+
+    def cell(self, mix: str, adoption: float, ttl: float) -> NatCellResult:
+        for cell in self.cells:
+            if (
+                cell.mix == mix
+                and cell.adoption == adoption
+                and cell.mapping_ttl_s == ttl
+            ):
+                return cell
+        raise KeyError(f"no cell ({mix}, {adoption}, {ttl})")
+
+
+def run_nat_sweep(
+    config: NatSweepConfig | None = None, workers: int = 1
+) -> NatSweepResults:
+    """Run the full grid; cell order (and bytes) are worker-invariant."""
+    config = config if config is not None else NatSweepConfig()
+    cells = [
+        Cell(
+            label=f"nat:{mix}:adopt={adoption}:ttl={ttl}",
+            fn=_run_cell,
+            args=(config, mix, adoption, ttl),
+        )
+        for mix in config.mixes
+        for adoption in config.adoptions
+        for ttl in config.mapping_ttls
+    ]
+    results = run_cells(cells, workers=workers)
+    return NatSweepResults(config=config, cells=list(results))
+
+
+@dataclass(frozen=True)
+class GradedClaim:
+    key: str
+    description: str
+    measured: float
+    expected: float
+    error: float
+    grade: Grade
+
+
+@dataclass
+class NatReport:
+    """The graded sweep: per-cell table plus the four claims."""
+
+    results: NatSweepResults
+    claims: list[GradedClaim]
+
+    @property
+    def overall(self) -> Grade:
+        return worst_grade([claim.grade for claim in self.claims])
+
+    def failed(self) -> bool:
+        return self.overall is Grade.FAIL
+
+    def to_json_dict(self) -> dict:
+        def r(value: float | None) -> float | None:
+            return None if value is None else round(value, 6)
+
+        return {
+            "schema": "repro.nat/v1",
+            "config": {
+                "seed": self.results.config.seed,
+                "n_peers": self.results.config.n_peers,
+                "crawl_hours": self.results.config.crawl_hours,
+                "retrievals_per_cell": self.results.config.retrievals_per_cell,
+                "mixes": list(self.results.config.mixes),
+                "adoptions": list(self.results.config.adoptions),
+                "mapping_ttls": list(self.results.config.mapping_ttls),
+            },
+            "cells": [
+                {
+                    "mix": cell.mix,
+                    "adoption": cell.adoption,
+                    "mapping_ttl_s": cell.mapping_ttl_s,
+                    "boxed_peers": cell.boxed_peers,
+                    "undialable": r(cell.undialable),
+                    "autonat_agreement": r(cell.autonat_agreement),
+                    "autonat_checked": cell.autonat_checked,
+                    "attempted": cell.attempted,
+                    "succeeded": cell.succeeded,
+                    "success_rate": r(cell.success_rate),
+                    "ttfb_p50_s": r(cell.p50()),
+                    "punches_attempted": cell.punches_attempted,
+                    "punches_succeeded": cell.punches_succeeded,
+                    "relay_dials": cell.relay_dials,
+                    "direct_upgrades": cell.direct_upgrades,
+                }
+                for cell in self.results.cells
+            ],
+            "claims": [
+                {
+                    "key": claim.key,
+                    "description": claim.description,
+                    "measured": r(claim.measured),
+                    "expected": r(claim.expected),
+                    "error": r(claim.error),
+                    "grade": claim.grade.value,
+                }
+                for claim in self.claims
+            ],
+            "overall": self.overall.value,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        lines = [
+            "NAT dialability sweep",
+            f"{'mix':<16} {'adopt':>5} {'ttl':>5} {'undial':>7} "
+            f"{'autonat':>7} {'ok':>5} {'p50':>7} {'punch':>9}",
+        ]
+        for cell in self.results.cells:
+            p50 = cell.p50()
+            lines.append(
+                f"{cell.mix:<16} {cell.adoption:>5.1f} "
+                f"{cell.mapping_ttl_s:>5.0f} {cell.undialable:>7.3f} "
+                f"{cell.autonat_agreement:>7.3f} "
+                f"{cell.succeeded:>2}/{cell.attempted:<2} "
+                f"{(f'{p50:7.2f}' if p50 is not None else '      -')} "
+                f"{cell.punches_succeeded:>4}/{cell.punches_attempted:<4}"
+            )
+        lines.append("")
+        for claim in self.claims:
+            lines.append(
+                f"[{claim.grade.value:>4}] {claim.key}: measured "
+                f"{claim.measured:.3f} vs {claim.expected:.3f} "
+                f"(error {claim.error:.3f}) — {claim.description}"
+            )
+        lines.append(f"overall: {self.overall.value}")
+        return "\n".join(lines)
+
+
+def grade_sweep(results: NatSweepResults) -> NatReport:
+    """Grade the four claims the sweep is designed to check."""
+    config = results.config
+    default_ttl = config.mapping_ttls[0]
+    baseline = results.cell("default", config.adoptions[0], default_ttl)
+    claims: list[GradedClaim] = []
+
+    target = TARGETS_BY_KEY["peer.undialable_fraction"]
+    error, grade = target.grade(baseline.undialable)
+    claims.append(
+        GradedClaim(
+            key="nat.undialable_fraction",
+            description=(
+                "emergent undialable share of the default mix vs the "
+                "paper's 45.5 % (Fig 4a / Section 5.3)"
+            ),
+            measured=baseline.undialable,
+            expected=target.paper_value,
+            error=error,
+            grade=grade,
+        )
+    )
+
+    min_agreement = min(cell.autonat_agreement for cell in results.cells)
+    error, grade = grade_at_least(min_agreement, AUTONAT_AGREEMENT_FLOOR, 0.05)
+    claims.append(
+        GradedClaim(
+            key="nat.autonat_agreement",
+            description="worst-cell AutoNAT vs ground-truth agreement",
+            measured=min_agreement,
+            expected=AUTONAT_AGREEMENT_FLOOR,
+            error=error,
+            grade=grade,
+        )
+    )
+
+    # DCUtR upgrades must actually land when both sides speak the
+    # protocol: grade the punch success rate of the fully-adopted
+    # default-mix cell.  The default mix leaves ~60 % of boxed pairs
+    # punchable (cone x cone and cone x symmetric), so a floor of
+    # 0.5 with WARN slack down to 0.3 captures "hole punching works
+    # where the NAT matrix says it can".
+    adopted = results.cell("default", 1.0, default_ttl)
+    if adopted.punches_attempted:
+        punch_rate = adopted.punches_succeeded / adopted.punches_attempted
+    else:
+        punch_rate = 0.0
+    error, grade = grade_at_least(punch_rate, PUNCH_SUCCESS_FLOOR, 0.2)
+    claims.append(
+        GradedClaim(
+            key="nat.punch_success_rate",
+            description=(
+                "DCUtR hole-punch success rate with full adoption "
+                "(emergent from the NAT-type compatibility matrix)"
+            ),
+            measured=punch_rate,
+            expected=PUNCH_SUCCESS_FLOOR,
+            error=error,
+            grade=grade,
+        )
+    )
+
+    min_success = min(cell.success_rate for cell in results.cells)
+    error, grade = grade_at_least(min_success, RELAY_SUCCESS_FLOOR, 0.3)
+    claims.append(
+        GradedClaim(
+            key="nat.relay_fallback_success",
+            description=(
+                "worst-cell retrieval success from a NAT'ed publisher "
+                "(relay fallback keeps content reachable)"
+            ),
+            measured=min_success,
+            expected=RELAY_SUCCESS_FLOOR,
+            error=error,
+            grade=grade,
+        )
+    )
+
+    return NatReport(results=results, claims=claims)

@@ -39,6 +39,7 @@ from repro.node.addressbook import AddressBook
 from repro.node.config import NodeConfig
 from repro.resilience import Resilience, hedged_call
 from repro.simnet.latency import PeerClass, Region
+from repro.simnet.nat import NatBox
 from repro.simnet.network import SimHost, SimNetwork
 from repro.simnet.sim import Future, Simulator, any_of
 from repro.simnet.transport import Transport
@@ -118,6 +119,7 @@ class IpfsNode:
         config: NodeConfig | None = None,
         keypair: KeyPair | None = None,
         transports: frozenset[Transport] = frozenset({Transport.TCP, Transport.QUIC}),
+        nat: NatBox | None = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -131,9 +133,19 @@ class IpfsNode:
             nat_private=nat_private,
             transports=transports,
         )
+        if nat is not None:
+            # A node behind an emergent NAT box: online and admitted
+            # per the box's rules, speaking DCUtR for upgrades.
+            self.host.nat = nat
+            self.host.dcutr = True
         network.register(self.host)
-        # NAT'ed nodes default to DHT clients (the AutoNAT outcome).
-        server = dht_server if dht_server is not None else not nat_private
+        # NAT'ed nodes default to DHT clients (the AutoNAT outcome);
+        # an emergent box likewise keeps the node a client.
+        server = (
+            dht_server
+            if dht_server is not None
+            else not nat_private and nat is None
+        )
         self.resilience = Resilience(self.config.resilience, sim, network)
         self.dht = DhtNode(sim, network, self.host, rng, server=server,
                            lookup_config=self.config.lookup,

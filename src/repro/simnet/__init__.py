@@ -18,15 +18,22 @@ DESIGN.md). It has four layers:
 
 from repro.simnet.churn import ChurnModel, SessionProcess
 from repro.simnet.latency import LatencyModel, PeerClass, Region
+from repro.simnet.nat import AutoNatService, NatBox, NatMode
 from repro.simnet.network import Connection, SimHost, SimNetwork
+from repro.simnet.relay import CircuitDialer, NatTraversal
 from repro.simnet.sim import Future, Process, Simulator, all_of, any_of, sleep, with_timeout
 from repro.simnet.transport import Transport, TransportProfile
 
 __all__ = [
+    "AutoNatService",
     "ChurnModel",
+    "CircuitDialer",
     "Connection",
     "Future",
     "LatencyModel",
+    "NatBox",
+    "NatMode",
+    "NatTraversal",
     "PeerClass",
     "Process",
     "Region",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
     DialError,
@@ -42,10 +42,17 @@ from repro.simnet.transport import (
     pick_transport,
 )
 
+if TYPE_CHECKING:
+    from repro.simnet.nat import NatBox
+
 #: (sender PeerId, payload) -> (response payload, response size bytes)
 RpcHandler = Callable[[PeerId, Any], tuple[Any, int]]
 
 _DEFAULT_TRANSPORTS = frozenset({Transport.TCP, Transport.QUIC})
+
+#: The port every host listens on (go-ipfs' default swarm port). NAT
+#: boxes translate outbound flows onto their own external ports.
+DEFAULT_LISTEN_PORT = 4001
 
 
 @dataclass
@@ -119,6 +126,16 @@ class SimHost:
         self.transports = transports
         self.nat_private = nat_private
         self.online = online
+        #: optional NAT state machine (:mod:`repro.simnet.nat`); ``None``
+        #: means the host is bound directly to a public address.
+        self.nat: NatBox | None = None
+        self.listen_port = DEFAULT_LISTEN_PORT
+        #: external endpoint learned via observed-address discovery
+        self.observed_port: int | None = None
+        #: cached AutoNAT verdict ("public" / "private") once classified
+        self.autonat_verdict: str | None = None
+        #: whether this host speaks DCUtR (hole-punch upgrades)
+        self.dcutr = False
         self.network: SimNetwork | None = None
         self.connections: dict[PeerId, Connection] = {}
         #: access-link serialization: times until which this host's
@@ -196,10 +213,24 @@ class SimNetwork:
         #: protocol layer above reads its tracer from here.
         self.obs: Observability | None = None
         self.tracer = NULL_TRACER
+        #: optional NAT traversal chain (direct -> relay -> hole-punch,
+        #: see :class:`repro.simnet.relay.NatTraversal`); ``None`` means
+        #: every dial is a plain direct dial (the default).
+        self.traversal: Any | None = None
 
     def install_faults(self, injector: FaultInjector | None) -> None:
         """Attach (or remove, with ``None``) a fault injector."""
         self.faults = injector
+
+    def install_traversal(self, traversal: Any | None) -> None:
+        """Attach (or remove, with ``None``) a NAT traversal chain.
+
+        With a traversal installed, protocol dials (``traverse=True``,
+        the default) attempt direct -> relay -> hole-punch; measurement
+        dials opt out with ``traverse=False`` to observe raw
+        reachability exactly as the crawler does.
+        """
+        self.traversal = traversal
 
     def install_observability(self, obs: Observability | None) -> None:
         """Attach (or remove, with ``None``) tracing and metrics.
@@ -228,7 +259,13 @@ class SimNetwork:
 
     # -- dialing -------------------------------------------------------------
 
-    def dial(self, src: SimHost, target_id: PeerId) -> Future:
+    def dial(
+        self,
+        src: SimHost,
+        target_id: PeerId,
+        from_observer: bool = False,
+        traverse: bool = True,
+    ) -> Future:
         """Establish a connection; resolves to a :class:`Connection`.
 
         Reuses an existing live connection immediately. Fails with
@@ -236,13 +273,22 @@ class SimNetwork:
         timeout when the target is offline, NAT'ed, or unknown, and
         with :class:`DialError` when no transport is shared.
 
+        ``from_observer`` marks an AutoNAT dial-back: it arrives from a
+        fresh observer endpoint the target's NAT has never seen, so
+        admission uses the cold-dial rule. ``traverse`` (default) lets
+        an installed :meth:`traversal <install_traversal>` chain upgrade
+        the dial through relays and hole-punching; measurement dials
+        pass ``traverse=False`` to see raw reachability.
+
         Every early-exit failure still counts one attempted and one
         failed dial, so failure-rate reports see all outcomes.
         """
         existing = src.connections.get(target_id)
         if existing is not None and not existing.closed:
             return Future.resolved(existing)
-        future = self._dial_uncached(src, target_id)
+        if traverse and not from_observer and self.traversal is not None:
+            return self.traversal.dial(src, target_id)
+        future = self._dial_uncached(src, target_id, from_observer=from_observer)
         if self.tracer.enabled:
             span = self.tracer.start_span(
                 "simnet.dial", src=str(src.peer_id), dst=str(target_id)
@@ -262,7 +308,9 @@ class SimNetwork:
             future.add_callback(finish)
         return future
 
-    def _dial_uncached(self, src: SimHost, target_id: PeerId) -> Future:
+    def _dial_uncached(
+        self, src: SimHost, target_id: PeerId, from_observer: bool = False
+    ) -> Future:
         self.stats.dials_attempted += 1
         if not src.online:
             self.stats.dials_failed += 1
@@ -277,6 +325,16 @@ class SimNetwork:
         if transport is None:
             self.stats.dials_failed += 1
             return Future.failed_with(DialError("no shared transport"))
+
+        # The outbound SYN traverses the dialer's own NAT first, binding
+        # (or refreshing) a mapping toward the target; this is what the
+        # target's box sees as our source endpoint.
+        src_port = src.listen_port
+        if src.nat is not None:
+            dst_port = (
+                target.listen_port if target is not None else DEFAULT_LISTEN_PORT
+            )
+            src_port = src.nat.map_outbound(target_id, dst_port, self.sim.now)
 
         if (
             target is not None
@@ -301,13 +359,25 @@ class SimNetwork:
             self.sim.schedule(timeout, cut)
             return future
 
+        # Admission: the listener must be online and directly bound, or
+        # its NAT box must let this source endpoint through. For hosts
+        # without a box this is exactly ``target.reachable``, and the
+        # accept-probability draw below fires iff it did before, so
+        # NAT-free worlds consume the shared RNG identically.
+        admitted = target is not None and target.reachable
+        if admitted and target.nat is not None:
+            if from_observer:
+                admitted = target.nat.admits_stranger(self.sim.now)
+            else:
+                admitted = target.nat.allows_inbound(
+                    src.peer_id, src_port, self.sim.now
+                )
         refused = (
-            target is not None
-            and target.reachable
+            admitted
             and self.rng.random()
             >= self.latency.class_profile(target.peer_class).accept_probability
         )
-        if target is None or not target.reachable or refused:
+        if not admitted or refused:
             timeout = dial_timeout(transport)
 
             def fail() -> None:
@@ -469,6 +539,11 @@ class SimNetwork:
         if target is None:
             future.fail(DialError(f"unknown peer {target_id}"))
             return
+
+        # Outbound traffic keeps the sender's NAT mapping warm: an
+        # active RPC stream is what holds a binding open past its TTL.
+        if src.nat is not None:
+            src.nat.map_outbound(target_id, target.listen_port, self.sim.now)
 
         fault: FaultKind | None = None
         if self.faults is not None:

@@ -13,9 +13,20 @@ Two mechanisms the paper mentions but could not yet rely on:
   direct connection.
 
 Relayed traffic pays both hops' latency and shares the relay's
-bandwidth; hole punching succeeds with a probability depending on the
-NAT type (cone NATs punch easily, symmetric ones rarely — the ~70 %
-aggregate success rate reported for DCUtR in the wild).
+bandwidth. Hole punching has two implementations: when either endpoint
+carries a :class:`~repro.simnet.nat.NatBox`, DCUtR is a *real*
+simultaneous open — each side maps an outbound flow toward the other's
+observed endpoint and the punch lands iff both boxes admit the
+resulting source ports, which reproduces the classic compatibility
+matrix (cone x cone works, symmetric x port-restricted does not)
+emergently, with no random draw. Hosts without boxes keep the legacy
+aggregate-probability model (the ~70 % DCUtR success rate reported in
+the wild).
+
+:class:`NatTraversal`, installed via
+:meth:`SimNetwork.install_traversal`, chains the pieces into the dial
+path real nodes use: direct when the target is cold-dialable, else a
+relay circuit, then a DCUtR upgrade when both sides speak it.
 """
 
 from __future__ import annotations
@@ -24,13 +35,19 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.errors import DialError
+from repro.errors import DialError, PartitionError
 from repro.multiformats.peerid import PeerId
-from repro.simnet.network import Connection, SimHost, SimNetwork
+from repro.simnet.network import (
+    DEFAULT_LISTEN_PORT,
+    Connection,
+    SimHost,
+    SimNetwork,
+)
 from repro.simnet.sim import Future
 from repro.simnet.transport import Transport
 
-#: Aggregate DCUtR success probabilities by NAT type.
+#: Aggregate DCUtR success probabilities by NAT type (legacy model for
+#: hosts without a NatBox).
 PUNCH_SUCCESS = {"cone": 0.85, "symmetric": 0.15}
 
 #: Public (non-NAT'ed) endpoints always "punch" trivially.
@@ -91,11 +108,24 @@ class CircuitDialer:
         self._relays[host.peer_id] = service
         return service
 
+    def _severed(self, src: SimHost, dst: SimHost) -> bool:
+        """Whether an active partition cuts the ``src -> dst`` path."""
+        faults = self.network.faults
+        if faults is None:
+            return False
+        if not faults.severed(src, dst.region, self.network.sim.now):
+            return False
+        self.network.stats.faults_injected += 1
+        return True
+
     def reserve(self, peer: SimHost, relay_id: PeerId) -> bool:
         """Register ``peer`` (typically NAT'ed) with a relay."""
         service = self._relays.get(relay_id)
         if service is None:
             raise DialError(f"{relay_id} is not a relay")
+        if self._severed(peer, service.host):
+            # The reservation request dies at the partition boundary.
+            return False
         if not service.reserve(peer, self.network.sim.now):
             return False
         self._reservations.setdefault(peer.peer_id, [])
@@ -106,6 +136,10 @@ class CircuitDialer:
     def relays_for(self, peer_id: PeerId) -> list[PeerId]:
         return list(self._reservations.get(peer_id, []))
 
+    def relay_ids(self) -> list[PeerId]:
+        """Every peer currently acting as a relay (registration order)."""
+        return list(self._relays)
+
     # -- circuit dialing -----------------------------------------------------
 
     def dial(self, src: SimHost, target_id: PeerId) -> Generator:
@@ -115,8 +149,8 @@ class CircuitDialer:
         has ``relay`` set when circuit-switched).
         """
         target = self.network.host(target_id)
-        if target is not None and target.reachable:
-            connection = yield self.network.dial(src, target_id)
+        if target is not None and cold_dialable(target, self.network.sim.now):
+            connection = yield self.network.dial(src, target_id, traverse=False)
             return connection
         last_error: Exception | None = None
         for relay_id in self.relays_for(target_id):
@@ -145,7 +179,13 @@ class CircuitDialer:
         # Establish src -> relay, then the relay bridges to the target
         # over the target's long-lived reservation connection. Cost:
         # one real handshake plus a stop-protocol round trip.
-        yield self.network.dial(src, relay.peer_id)
+        yield self.network.dial(src, relay.peer_id, traverse=False)
+        if self._severed(relay, target):
+            # The relay's leg to the target crosses an active cut: the
+            # stop-protocol request never arrives.
+            raise PartitionError(
+                f"partition severs circuit {relay.peer_id} -> {target_id}"
+            )
         bridge_rtt = 2 * (
             self.network.latency.one_way(
                 src.region, src.peer_class, relay.region, relay.peer_class,
@@ -161,6 +201,15 @@ class CircuitDialer:
         def establish() -> None:
             if not target.online or not src.online:
                 done.fail(DialError(f"{target_id} went away during circuit setup"))
+                return
+            if self._severed(src, relay) or self._severed(relay, target):
+                # A partition activated while the circuit was being set
+                # up: the in-flight bridge dies at the fault boundary.
+                done.fail(
+                    PartitionError(
+                        f"partition severs circuit setup to {target_id}"
+                    )
+                )
                 return
             connection = Connection(
                 src.peer_id, target_id, Transport.TCP, bridge_rtt,
@@ -197,19 +246,38 @@ class CircuitDialer:
         target = self.network.host(target_id)
         if target is None:
             raise DialError(f"unknown peer {target_id}")
+        relay = self.network.host(connection.relay)
         self.punches_attempted += 1
         # DCUtR: exchange observed addresses and timing over the relay
         # (one relayed round trip), then simultaneous-open.
         yield connection.rtt_s
-        success_probability = min(
-            self._punch_probability(src), self._punch_probability(target)
-        )
+        if relay is not None and (
+            self._severed(src, relay) or self._severed(relay, target)
+        ):
+            # The coordination messages ride the relayed connection; an
+            # active partition on either hop kills them in flight.
+            self.network.disconnect(src, target_id)
+            raise PartitionError(
+                f"partition severs hole-punch coordination to {target_id}"
+            )
+        deterministic = src.nat is not None or target.nat is not None
+        if not deterministic:
+            success_probability = min(
+                self._punch_probability(src), self._punch_probability(target)
+            )
         direct_rtt = 2 * self.network.latency.one_way(
             src.region, src.peer_class, target.region, target.peer_class,
             self.network.rng,
         )
         yield direct_rtt  # the punch attempt itself
-        if self.network.rng.random() >= success_probability:
+        if self._severed(src, target):
+            # The simultaneous open crosses the cut directly; both
+            # sides' packets die there and the relay circuit stays up.
+            return False
+        if deterministic:
+            if not self._simultaneous_open(src, target, connection.relay):
+                return False
+        elif self.network.rng.random() >= success_probability:
             return False
         self.punches_succeeded += 1
         src.connections[target_id] = Connection(
@@ -220,8 +288,111 @@ class CircuitDialer:
         )
         return True
 
+    def _observed_port(self, host: SimHost, relay_id: PeerId | None) -> int:
+        """The external endpoint ``host``'s DCUtR peer learns about it:
+        its listen port when directly bound, else the port its NAT box
+        shows the relay (refreshed by the coordination traffic)."""
+        if host.nat is None:
+            return host.listen_port
+        relay = self.network.host(relay_id) if relay_id is not None else None
+        relay_port = relay.listen_port if relay is not None else DEFAULT_LISTEN_PORT
+        relay_peer = relay.peer_id if relay is not None else host.peer_id
+        now = self.network.sim.now
+        port = host.nat.external_port_toward(relay_peer, relay_port, now)
+        if port is None:
+            port = host.nat.map_outbound(relay_peer, relay_port, now)
+        return port
+
+    def _simultaneous_open(
+        self, src: SimHost, target: SimHost, relay_id: PeerId | None
+    ) -> bool:
+        """The deterministic DCUtR outcome for NatBox'ed endpoints.
+
+        Each side fires an outbound flow at the *observed* endpoint of
+        the other (binding its own NAT mapping in the process); the
+        punch lands iff both boxes then admit the other side's actual
+        source port. Cone NATs reuse their WAN port, so observed ==
+        actual and the mappings line up; a symmetric NAT allocates a
+        fresh port per destination, so its peer aimed at a stale
+        endpoint — only an address-restricted (or looser) peer still
+        admits the flow.
+        """
+        now = self.network.sim.now
+        src_observed = self._observed_port(src, relay_id)
+        dst_observed = self._observed_port(target, relay_id)
+        src_actual = (
+            src.nat.map_outbound(target.peer_id, dst_observed, now)
+            if src.nat is not None
+            else src.listen_port
+        )
+        dst_actual = (
+            target.nat.map_outbound(src.peer_id, src_observed, now)
+            if target.nat is not None
+            else target.listen_port
+        )
+        into_target = target.nat is None or target.nat.allows_inbound(
+            src.peer_id, src_actual, now
+        )
+        into_src = src.nat is None or src.nat.allows_inbound(
+            target.peer_id, dst_actual, now
+        )
+        return into_target and into_src
+
     def _punch_probability(self, host: SimHost) -> float:
         if not host.nat_private:
             return 1.0
         nat_type = getattr(host, "nat_type", NatType.CONE)
         return PUNCH_SUCCESS[NatType(nat_type).value]
+
+
+def cold_dialable(host: SimHost, now: float) -> bool:
+    """Whether a peer that has never seen us can dial ``host`` directly
+    — the property the crawler measures and AutoNAT classifies."""
+    if not host.reachable:
+        return False
+    return host.nat is None or host.nat.admits_stranger(now)
+
+
+class NatTraversal:
+    """The dial chain real nodes run: direct -> relay -> hole-punch.
+
+    Installed on a network via :meth:`SimNetwork.install_traversal`;
+    protocol dials (``traverse=True``) then route through
+    :meth:`dial`, which tries a direct connection for cold-dialable
+    targets, falls back to a relay circuit over the target's
+    reservations, and — when both endpoints speak DCUtR — attempts the
+    hole-punch upgrade so follow-on traffic stops paying the relay tax.
+    """
+
+    def __init__(self, network: SimNetwork, dialer: CircuitDialer) -> None:
+        self.network = network
+        self.dialer = dialer
+        self.direct_dials = 0
+        self.relay_dials = 0
+        self.upgrades_attempted = 0
+        self.upgrades_succeeded = 0
+
+    def dial(self, src: SimHost, target_id: PeerId) -> Future:
+        """Entry point used by :meth:`SimNetwork.dial`; returns a
+        Future resolving to the best :class:`Connection` achieved."""
+        return self.network.sim.spawn(
+            self._dial(src, target_id), name="nat-traversal"
+        ).future
+
+    def _dial(self, src: SimHost, target_id: PeerId) -> Generator:
+        connection = yield from self.dialer.dial(src, target_id)
+        if connection.relay is None:
+            self.direct_dials += 1
+            return connection
+        self.relay_dials += 1
+        target = self.network.host(target_id)
+        if src.dcutr and target is not None and target.dcutr:
+            self.upgrades_attempted += 1
+            try:
+                upgraded = yield from self.dialer.hole_punch(src, target_id)
+            except (DialError, PartitionError):
+                upgraded = False
+            if upgraded:
+                self.upgrades_succeeded += 1
+                connection = src.connections[target_id]
+        return connection

@@ -45,6 +45,12 @@ from repro.experiments.gateway_exp import (
     GatewayExperimentConfig,
     run_gateway_experiment,
 )
+from repro.experiments.nat_sweep import (
+    NatSweepConfig,
+    bench_nat_config,
+    grade_sweep,
+    run_nat_sweep,
+)
 from repro.experiments.perf import PerfConfig, run_perf_experiment
 from repro.experiments.report import render_cdf, render_share_table, render_table
 from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
@@ -65,6 +71,7 @@ from repro.validation.conformance import (
     run_conformance,
     write_fidelity_artifact,
 )
+from repro.validation.nat_tier import run_nat_tier
 from repro.workloads.gateway_trace import GatewayTraceConfig
 from repro.workloads.population import PopulationConfig, generate_population
 
@@ -199,9 +206,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="paper-fidelity conformance: grade the reproduction "
              "against the paper's reported numbers",
     )
-    validate.add_argument("--tier", choices=("quick", "full"),
+    validate.add_argument("--tier", choices=("quick", "full", "nat"),
                           default="quick",
-                          help="quick = CI scales, full = nightly scales")
+                          help="quick = CI scales, full = nightly scales, "
+                               "nat = NAT-model seed stability")
     validate.add_argument("--workers", type=int, default=1,
                           help="worker processes sharding the three "
                                "dataset cells; output is identical for "
@@ -233,6 +241,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="use the frozen BENCH_attack.json "
                              "configuration (overrides --peers/"
                              "--retrievals/--attacks/--intensity)")
+
+    nat = sub.add_parser(
+        "nat-sweep",
+        help="NAT-mode mix x hole-punch adoption x mapping-TTL "
+             "dialability sweep, graded vs the paper's 45.5 %",
+    )
+    nat.add_argument("--peers", type=int, default=None,
+                     help="backdrop peers per cell (default: sweep default)")
+    nat.add_argument("--hours", type=float, default=None,
+                     help="crawl campaign hours per cell")
+    nat.add_argument("--retrievals", type=int, default=None,
+                     help="retrievals per cell through the NAT'ed pair")
+    nat.add_argument("--workers", type=int, default=1,
+                     help="worker processes sharding the sweep cells; "
+                          "output is identical for any value")
+    nat.add_argument("--export", metavar="FILE", default=None,
+                     help="write the graded sweep JSON artifact "
+                          "(BENCH_nat.json style)")
+    nat.add_argument("--bench", action="store_true",
+                     help="use the frozen BENCH_nat.json configuration "
+                          "(overrides --peers/--hours/--retrievals)")
     return parser
 
 
@@ -495,6 +524,14 @@ def _cmd_gateway(args) -> None:
 
 def _cmd_validate(args) -> int:
     """Graded paper-fidelity report; exit 1 when any metric FAILs."""
+    if args.tier == "nat":
+        report = run_nat_tier(workers=args.workers)
+        print(report.render_text())
+        if args.export:
+            with open(args.export, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"\nwrote NAT tier report to {args.export}")
+        return 1 if report.failed() else 0
     config = config_for_tier(args.tier, seed=args.seed)
     report = run_conformance(config, workers=args.workers)
     print(report.render_text())
@@ -539,6 +576,31 @@ def _cmd_attack(args) -> int:
     return 1 if report.overall.value == "FAIL" else 0
 
 
+def _cmd_nat_sweep(args) -> int:
+    """Graded NAT dialability sweep; exit 1 when any claim FAILs."""
+    if args.bench:
+        config = bench_nat_config()
+        if args.seed != 42:
+            config = dataclasses.replace(config, seed=args.seed)
+    else:
+        overrides = {"seed": args.seed}
+        if args.peers is not None:
+            overrides["n_peers"] = args.peers
+        if args.hours is not None:
+            overrides["crawl_hours"] = args.hours
+        if args.retrievals is not None:
+            overrides["retrievals_per_cell"] = args.retrievals
+        config = NatSweepConfig(**overrides)
+    results = run_nat_sweep(config, workers=args.workers)
+    report = grade_sweep(results)
+    print(report.render_text())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nwrote graded NAT sweep to {args.export}")
+    return 1 if report.overall.value == "FAIL" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -551,6 +613,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "validate": _cmd_validate,
         "attack": _cmd_attack,
+        "nat-sweep": _cmd_nat_sweep,
     }
     return handlers[args.command](args) or 0
 

@@ -28,6 +28,11 @@ from repro.validation.conformance import (
     run_conformance,
     write_fidelity_artifact,
 )
+from repro.validation.nat_tier import (
+    NatTierConfig,
+    NatTierReport,
+    run_nat_tier,
+)
 from repro.validation.targets import (
     DATASETS,
     RETRIEVAL_CDF_FIG9D,
@@ -43,6 +48,8 @@ __all__ = [
     "FidelityReport",
     "Grade",
     "GradedMetric",
+    "NatTierConfig",
+    "NatTierReport",
     "PaperTarget",
     "PercentileCheck",
     "QUICK",
@@ -62,6 +69,7 @@ __all__ = [
     "percentile_band",
     "relative_error",
     "run_conformance",
+    "run_nat_tier",
     "targets_for",
     "worst_grade",
     "write_fidelity_artifact",

@@ -1,0 +1,136 @@
+"""Property tests for the NAT mapping state machine.
+
+The :class:`~repro.simnet.nat.NatBox` is pure state + clock — no RNG —
+so its invariants hold for *every* flow schedule, not just the ones the
+unit tests pin:
+
+- a cone box funnels all live flows through one WAN port;
+- a symmetric box never shares a port across distinct destinations;
+- liveness is monotone in time between refreshes (once a mapping dies
+  it stays dead until new outbound traffic re-creates it);
+- the port sequence is a pure function of the flow schedule (replays
+  are identical, which is what makes sharded sweeps byte-stable).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.multiformats.peerid import PeerId
+from repro.simnet.nat import NatBox, NatMode
+
+PEERS = [PeerId.from_public_key(b"prop-peer-%d" % i) for i in range(6)]
+
+#: One outbound flow: (peer index, destination port, inter-event gap).
+flow = st.tuples(
+    st.integers(min_value=0, max_value=len(PEERS) - 1),
+    st.sampled_from([4001, 4002, 8080]),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+)
+schedules = st.lists(flow, min_size=1, max_size=30)
+boxed_modes = st.sampled_from(
+    [
+        NatMode.FULL_CONE,
+        NatMode.ADDRESS_RESTRICTED,
+        NatMode.PORT_RESTRICTED,
+        NatMode.SYMMETRIC,
+    ]
+)
+
+
+def replay(box: NatBox, schedule) -> list[tuple[float, int]]:
+    """Run a flow schedule through a box; returns (time, port) pairs."""
+    now = 0.0
+    out = []
+    for peer_index, dst_port, gap in schedule:
+        now += gap
+        port = box.map_outbound(PEERS[peer_index], dst_port, now)
+        out.append((now, port))
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=schedules, ttl=st.floats(min_value=1.0, max_value=500.0))
+def test_cone_live_flows_share_one_wan_port(schedule, ttl):
+    """At any instant, every live mapping of a cone box translates
+    through the same external port (that is what 'cone' means)."""
+    box = NatBox(NatMode.FULL_CONE, mapping_ttl_s=ttl)
+    now = 0.0
+    for peer_index, dst_port, gap in schedule:
+        now += gap
+        box.map_outbound(PEERS[peer_index], dst_port, now)
+        live_ports = {
+            mapping.external_port
+            for mapping in box._mappings.values()
+            if box._is_live(mapping, now)
+        }
+        assert len(live_ports) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=schedules)
+def test_symmetric_ports_are_per_destination(schedule):
+    """A symmetric box never reuses an external port across distinct
+    destination endpoints."""
+    box = NatBox(NatMode.SYMMETRIC)
+    now = 0.0
+    port_of: dict[tuple, int] = {}
+    for peer_index, dst_port, gap in schedule:
+        now += gap
+        key = (peer_index, dst_port)
+        port = box.map_outbound(PEERS[peer_index], dst_port, now)
+        for other_key, other_port in port_of.items():
+            if other_key != key:
+                assert other_port != port
+        port_of[key] = port
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mode=boxed_modes,
+    ttl=st.floats(min_value=1.0, max_value=200.0),
+    probe_gaps=st.lists(
+        st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=20
+    ),
+)
+def test_ttl_expiry_is_monotone(mode, ttl, probe_gaps):
+    """Without refreshes, liveness observed at increasing times is
+    monotone non-increasing: once dead, a mapping stays dead."""
+    box = NatBox(mode, mapping_ttl_s=ttl)
+    box.map_outbound(PEERS[0], 4001, 0.0)
+    now, alive = 0.0, True
+    for gap in probe_gaps:
+        now += gap
+        live_now = box.has_live_mapping(now)
+        assert not (live_now and not alive), "mapping resurrected itself"
+        alive = live_now
+
+
+@settings(max_examples=60, deadline=None)
+@given(mode=boxed_modes, schedule=schedules,
+       ttl=st.floats(min_value=1.0, max_value=500.0))
+def test_port_allocation_replays_identically(mode, schedule, ttl):
+    """Two boxes with the same configuration fed the same flow schedule
+    emit the identical port sequence — the determinism that keeps
+    sharded experiment cells byte-identical across workers."""
+    first = replay(NatBox(mode, mapping_ttl_s=ttl), schedule)
+    second = replay(NatBox(mode, mapping_ttl_s=ttl), schedule)
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(mode=boxed_modes, schedule=schedules)
+def test_keepalive_only_extends_liveness(mode, schedule):
+    """Adding a virtual keepalive never makes a mapping die earlier:
+    liveness with keepalive is a superset of liveness without."""
+    plain = NatBox(mode, mapping_ttl_s=60.0)
+    kept = NatBox(mode, mapping_ttl_s=60.0, keepalive_interval_s=30.0)
+    now = 0.0
+    for peer_index, dst_port, gap in schedule:
+        now += gap
+        plain.map_outbound(PEERS[peer_index], dst_port, now)
+        kept.map_outbound(PEERS[peer_index], dst_port, now)
+        probe = now + 45.0
+        if plain.has_live_mapping(probe):
+            assert kept.has_live_mapping(probe)

@@ -12,7 +12,12 @@ from repro.experiments.gateway_exp import (
     run_gateway_experiment,
 )
 from repro.experiments.perf import PerfConfig, run_perf_experiment
-from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.experiments.scenario import (
+    IDLE_NAT_WORLD,
+    NatWorldConfig,
+    ScenarioConfig,
+    build_scenario,
+)
 from repro.obs import Observability
 from repro.tools.export import export_trace
 from repro.utils.rng import derive_rng
@@ -28,12 +33,16 @@ GOLDEN_TRACE_SHA256 = (
 )
 
 
-def _perf_run(seed: int, obs: Observability | None = None):
+def _perf_run(
+    seed: int,
+    obs: Observability | None = None,
+    nat_world: NatWorldConfig | None = None,
+):
     population = generate_population(
         PopulationConfig(n_peers=250), derive_rng(seed, "det-pop")
     )
     scenario = build_scenario(
-        population, ScenarioConfig(seed=seed),
+        population, ScenarioConfig(seed=seed, nat_world=nat_world),
         vantage_regions=["eu_central_1", "us_west_1"],
     )
     results = run_perf_experiment(
@@ -51,9 +60,11 @@ def _perf_run(seed: int, obs: Observability | None = None):
     ]
 
 
-def _traced_perf_digest(seed: int, tmp_path) -> tuple[str, tuple]:
+def _traced_perf_digest(
+    seed: int, tmp_path, nat_world: NatWorldConfig | None = None
+) -> tuple[str, tuple]:
     obs = Observability()
-    receipts = _perf_run(seed, obs)
+    receipts = _perf_run(seed, obs, nat_world=nat_world)
     tmp_path.mkdir(parents=True, exist_ok=True)
     path = tmp_path / f"trace-{seed}.jsonl"
     export_trace(obs.tracer, path)
@@ -89,6 +100,17 @@ def test_golden_trace_is_deterministic(tmp_path):
 def test_golden_trace_seed_sensitive(tmp_path):
     digest, _ = _traced_perf_digest(12, tmp_path)
     assert digest != GOLDEN_TRACE_SHA256
+
+
+def test_idle_nat_world_preserves_golden_trace(tmp_path):
+    """NAT layer enabled but every peer drawing PUBLIC is a strict
+    no-op: no boxes, no relays, no traversal — the trace must be
+    byte-identical to the pinned zero-NAT golden digest."""
+    digest, receipts = _traced_perf_digest(
+        11, tmp_path, nat_world=IDLE_NAT_WORLD
+    )
+    assert digest == GOLDEN_TRACE_SHA256
+    assert receipts == _perf_run(11)
 
 
 def test_gateway_experiment_bit_identical():
