@@ -1,0 +1,48 @@
+"""Flash-crowd overload bench: the gateway fleet under burst load.
+
+The smoke test regenerates the committed ``BENCH_overload.json``
+configuration and checks both the grades (the hardened fleet sustains
+the spike the stock round-robin fleet collapses under) and the bytes
+(the canonical artifact must match the committed baseline exactly —
+same check CI's ``overload-smoke`` job performs via ``cmp``).
+"""
+
+import pathlib
+
+from conftest import save_report
+
+from repro.experiments.flash_crowd import (
+    bench_overload_config,
+    grade_flash_crowd,
+    run_flash_crowd,
+)
+from repro.validation.compare import Grade
+
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_overload.json"
+)
+
+
+def test_overload_smoke():
+    """Fast end-to-end pass for CI: the frozen bench grid, sharded,
+    must reproduce the committed artifact byte-for-byte and grade PASS."""
+    results = run_flash_crowd(bench_overload_config(), workers=2)
+    report = grade_flash_crowd(results)
+    save_report("flash_crowd", report.render_text())
+
+    assert report.overall is Grade.PASS
+    # The headline acceptance criterion: the hardened arm holds >= 2x
+    # the stock arm's goodput at the NFT drop's peak, with zero
+    # duplicate upstream fetches for coalesced hot CIDs.
+    stock = results.cell("nft_drop", "stock")
+    hardened = results.cell("nft_drop", "hardened")
+    assert hardened.spike_goodput >= 2.0 * stock.spike_goodput
+    assert hardened.hot_duplicate_launches == 0
+    assert stock.duplicate_launches > 100  # round-robin re-fetch storm
+
+    assert report.to_json() == BASELINE.read_text(), (
+        "graded flash-crowd grid drifted from the committed "
+        "BENCH_overload.json; regenerate with: "
+        "python -m repro.tools.cli flash-crowd --bench "
+        "--export BENCH_overload.json"
+    )

@@ -99,10 +99,31 @@ class AttackMatrixConfig:
     defenses: tuple[str, ...] = ("off", "on")
 
 
+#: The severity grid frozen into ``BENCH_attack.json``: every attack
+#: kind is graded at quarter, half and full strength, so a defense that
+#: only works against all-out assault (or only against a nuisance
+#: level) shows up as a FAIL at the other intensities.
+BENCH_INTENSITIES = (0.25, 0.5, 1.0)
+
+
+def bench_attacks() -> tuple[AttackSpec, ...]:
+    """One clean spec plus every kind at every bench intensity."""
+    specs = [AttackSpec("none")]
+    for spec in default_attacks():
+        if spec.kind == "none":
+            continue
+        specs.extend(
+            AttackSpec(spec.kind, intensity=intensity)
+            for intensity in BENCH_INTENSITIES
+        )
+    return tuple(specs)
+
+
 def bench_attack_config() -> AttackMatrixConfig:
     """The configuration frozen into ``BENCH_attack.json`` (CI-sized)."""
     return AttackMatrixConfig(
-        seed=42, n_peers=120, retrievals_per_cell=5, object_size=16 * 1024
+        seed=42, n_peers=120, retrievals_per_cell=5, object_size=16 * 1024,
+        attacks=bench_attacks(),
     )
 
 
@@ -227,11 +248,22 @@ class AttackMatrixResults:
     config: AttackMatrixConfig
     cells: list[AttackCellResult] = field(default_factory=list)
 
-    def cell(self, attack_kind: str, defense_name: str) -> AttackCellResult:
+    def cell(
+        self,
+        attack_kind: str,
+        defense_name: str,
+        intensity: float | None = None,
+    ) -> AttackCellResult:
+        """The cell for (kind, defense); when the matrix sweeps several
+        intensities of one kind, pass ``intensity`` to pick among them
+        (omitted = first match, the pre-sweep behaviour)."""
         for cell in self.cells:
             if cell.attack == attack_kind and cell.defense == defense_name:
-                return cell
-        raise KeyError(f"no cell for ({attack_kind!r}, {defense_name!r})")
+                if intensity is None or cell.intensity == intensity:
+                    return cell
+        raise KeyError(
+            f"no cell for ({attack_kind!r}, {defense_name!r}, {intensity!r})"
+        )
 
 
 def run_attack_matrix(
@@ -419,14 +451,15 @@ class AttackReport:
             f"retrievals={self.results.config.retrievals_per_cell}, "
             f"defenses={'/'.join(self.results.config.defenses)})",
             "",
-            f"{'attack':<14} {'clean':>6} {'hit':>6} {'def':>6} "
+            f"{'attack':<19} {'clean':>6} {'hit':>6} {'def':>6} "
             f"{'recov':>6} {'slow':>6} {'grade':>5}",
         ]
         for row in self.rows:
             recovery = "-" if row.recovery is None else f"{row.recovery:.2f}"
             slowdown = "-" if row.slowdown is None else f"{row.slowdown:.1f}x"
+            label = f"{row.attack}@{row.intensity:g}"
             lines.append(
-                f"{row.attack:<14} {row.clean_success:>6.2f} "
+                f"{label:<19} {row.clean_success:>6.2f} "
                 f"{row.attacked_success:>6.2f} {row.defended_success:>6.2f} "
                 f"{recovery:>6} {slowdown:>6} {row.grade.value:>5}"
             )
@@ -447,8 +480,8 @@ def grade_matrix(results: AttackMatrixResults) -> AttackReport:
     rows = [
         _grade_attack(
             clean,
-            results.cell(attack.kind, "off"),
-            results.cell(attack.kind, "on"),
+            results.cell(attack.kind, "off", attack.intensity),
+            results.cell(attack.kind, "on", attack.intensity),
         )
         for attack in results.config.attacks
         if attack.kind != "none"

@@ -82,3 +82,11 @@ class PartitionError(FaultInjectionError):
 
 class SimulationError(ReproError):
     """Raised on inconsistent simulator state (a bug in the caller)."""
+
+
+class OverloadError(ReproError):
+    """Raised when gateway admission control sheds a request (a 503)."""
+
+
+class GatewayDownError(ReproError):
+    """Raised when a fleet routes a request to an offline gateway."""

@@ -80,7 +80,8 @@ class GatewayExperimentResults:
         return tier_summary(self.log)
 
     def combined_hit_rate(self) -> float:
-        hits = sum(1 for e in self.log if e.tier != CacheTier.NON_CACHED)
+        hit_tiers = (CacheTier.NGINX, CacheTier.NODE_STORE)
+        hits = sum(1 for e in self.log if e.tier in hit_tiers)
         return hits / len(self.log) if self.log else 0.0
 
     # -- referrals ---------------------------------------------------------

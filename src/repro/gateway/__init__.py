@@ -14,15 +14,32 @@ entries; :mod:`repro.gateway.logs` aggregates them into the quantities
 of Figure 11 and Table 5.
 """
 
+from repro.gateway.bridge import BridgedResponse, GatewayBridge
 from repro.gateway.cache import ObjectCache
+from repro.gateway.fleet import FleetConfig, FleetStats, GatewayFleet
 from repro.gateway.gateway import Gateway, UpstreamModel, default_upstream_model
 from repro.gateway.logs import AccessLogEntry, CacheTier, bin_traffic, tier_summary
+from repro.gateway.overload import (
+    MissGate,
+    OverloadConfig,
+    OverloadStats,
+    ProviderHintCache,
+)
 
 __all__ = [
     "AccessLogEntry",
+    "BridgedResponse",
     "CacheTier",
+    "FleetConfig",
+    "FleetStats",
     "Gateway",
+    "GatewayBridge",
+    "GatewayFleet",
+    "MissGate",
     "ObjectCache",
+    "OverloadConfig",
+    "OverloadStats",
+    "ProviderHintCache",
     "UpstreamModel",
     "bin_traffic",
     "default_upstream_model",

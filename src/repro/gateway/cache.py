@@ -9,16 +9,27 @@ simulated payloads themselves stay in the content registry.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Callable, Hashable
 
 
 class ObjectCache:
-    """LRU object cache accounting in bytes."""
+    """LRU object cache accounting in bytes.
 
-    def __init__(self, capacity_bytes: int) -> None:
+    ``on_evict`` (an optional callback taking the evicted key) fires
+    for every LRU eviction, so side tables keyed by the same CIDs (the
+    bridge's cache timestamps) can be pruned in lockstep instead of
+    growing without bound over a full-day replay.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        on_evict: Callable[[Hashable], None] | None = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        self.on_evict = on_evict
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
         self._used = 0
         self.hits = 0
@@ -58,9 +69,11 @@ class ObjectCache:
         self._entries[key] = size
         self._used += size
         while self._used > self.capacity_bytes:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
             self._used -= evicted
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key)
 
     def hit_rate(self) -> float:
         """Hits over all lookups so far (0.0 when untouched)."""

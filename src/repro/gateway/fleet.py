@@ -1,0 +1,347 @@
+"""A fleet of gateway bridges behind consistent-hash routing.
+
+The paper's ipfs.io is a *set* of gateways behind DNS round-robin
+(Section 3.4); each node's nginx cache is only as good as the slice of
+the CID space it keeps seeing. This module models the load-balancer
+tier the paper does not study:
+
+- **routing disciplines** — stock ``round_robin`` rotates requests
+  across members like the paper's DNS round-robin, so every member
+  sees (and refetches) every hot CID; hardened ``consistent_hash``
+  maps CIDs onto a hash ring with virtual nodes, so each gateway owns
+  a stable slice of the content space (cache-friendly, one upstream
+  fetch per object fleet-wide) and losing a gateway moves only its
+  slice;
+- **health checks** — per-gateway rolling error windows plus a
+  latency-percentile estimator (reusing
+  :class:`~repro.resilience.rtt.RttEstimator`), fed passively by every
+  routed request and optionally by an active probe process on the
+  simulated clock;
+- **failover** — with ``failover`` on, routing walks the ring past
+  gateways that are marked offline or unhealthy (dead *or* shedding),
+  so a failed node's hash range redistributes to its ring successors
+  automatically; with it off, requests to a dead gateway surface
+  :class:`~repro.errors.GatewayDownError` (stock DNS behaviour: the
+  client eats the outage).
+
+Hashing uses SHA-256 over the CID's binary form — Python's built-in
+``hash`` is salted per process and would break cross-run determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.errors import GatewayDownError, ReproError
+from repro.gateway.bridge import BridgedResponse, GatewayBridge
+from repro.multiformats.cid import Cid
+from repro.resilience.rtt import AdaptiveTimeoutConfig, RttEstimator
+from repro.simnet.sim import Simulator
+
+
+def _ring_point(data: bytes) -> int:
+    """A position on the 64-bit hash ring (stable across processes)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Routing and health-check knobs. Defaults: DNS-style round-robin,
+    no failover, passive health accounting only — a fleet of one
+    behaves exactly like its single bridge, and a stock fleet spreads
+    every CID across all members the way the paper's DNS round-robin
+    does (Section 3.4)."""
+
+    #: "round_robin" — the stock DNS rotation: consecutive requests hit
+    #: consecutive gateways, so a hot CID lands on *every* member and
+    #: each one refetches it upstream. "consistent_hash" — the hardened
+    #: ring: each CID has one owner, so the fleet fetches it once.
+    routing: str = "round_robin"
+    #: ring points per gateway (more = smoother range distribution).
+    virtual_nodes: int = 64
+    #: route around offline/unhealthy gateways.
+    failover: bool = False
+    #: request outcomes kept per gateway for the error window.
+    health_window: int = 16
+    #: error fraction over the window that marks a gateway unhealthy.
+    unhealthy_error_rate: float = 0.5
+    #: outcomes needed before the error window is trusted.
+    min_observations: int = 8
+    #: p90 served latency above this marks a gateway unhealthy
+    #: (None = latency never disqualifies).
+    latency_slo_s: float | None = None
+    #: active liveness probe period (None = passive detection only).
+    probe_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.routing not in {"round_robin", "consistent_hash"}:
+            raise ReproError(f"unknown routing discipline: {self.routing!r}")
+        if self.virtual_nodes < 1:
+            raise ReproError(f"virtual_nodes must be >= 1, got {self.virtual_nodes}")
+        if self.health_window < 1 or self.min_observations < 1:
+            raise ReproError("health_window and min_observations must be >= 1")
+        if not 0.0 < self.unhealthy_error_rate <= 1.0:
+            raise ReproError(
+                f"unhealthy_error_rate must be in (0, 1], got "
+                f"{self.unhealthy_error_rate}"
+            )
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ReproError(f"latency_slo_s must be positive, got {self.latency_slo_s}")
+        if self.probe_interval_s is not None and self.probe_interval_s <= 0:
+            raise ReproError(
+                f"probe_interval_s must be positive, got {self.probe_interval_s}"
+            )
+
+
+@dataclass
+class FleetStats:
+    """What the routing tier did."""
+
+    requests: int = 0
+    #: requests served by a gateway other than the ring primary.
+    failovers: int = 0
+    #: requests that hit an offline gateway and surfaced an error.
+    down_errors: int = 0
+    #: transitions into the marked-offline set.
+    marked_offline: int = 0
+    #: transitions back out of it (probe saw the gateway recover).
+    recovered: int = 0
+    #: active probe rounds run.
+    probe_rounds: int = 0
+    #: served requests per gateway index.
+    served_by_gateway: list[int] = field(default_factory=list)
+
+
+class GatewayFleet:
+    """N bridges behind a consistent-hash ring with health checks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bridges: list[GatewayBridge],
+        config: FleetConfig | None = None,
+    ) -> None:
+        if not bridges:
+            raise ReproError("a fleet needs at least one gateway")
+        self.sim = sim
+        self.bridges = bridges
+        self.config = config if config is not None else FleetConfig()
+        self.stats = FleetStats(served_by_gateway=[0] * len(bridges))
+        ring: list[tuple[int, int]] = []
+        for index in range(len(bridges)):
+            for replica in range(self.config.virtual_nodes):
+                ring.append((_ring_point(b"vnode:%d:%d" % (index, replica)), index))
+        ring.sort()
+        self._ring = ring
+        self._ring_points = [point for point, _ in ring]
+        #: next member the round-robin rotation will hand out.
+        self._round_robin = 0
+        #: gateways the fleet currently believes are down (fed by
+        #: observed connection failures and active probes).
+        self._marked_offline: set[int] = set()
+        #: rolling error window per gateway (1 = failed or shed).
+        self._errors: list[deque[int]] = [
+            deque(maxlen=self.config.health_window) for _ in bridges
+        ]
+        self._rtt = RttEstimator(
+            AdaptiveTimeoutConfig(
+                window=max(self.config.health_window, self.config.min_observations),
+                warmup=self.config.min_observations,
+            )
+        )
+
+    # -- health ------------------------------------------------------------
+
+    def record_outcome(self, index: int, ok: bool, latency_s: float | None) -> None:
+        """Feed one request outcome into gateway ``index``'s window."""
+        self._errors[index].append(0 if ok else 1)
+        if ok and latency_s is not None:
+            self._rtt.observe(index, latency_s)
+
+    def error_rate(self, index: int) -> float | None:
+        """Error fraction over the window, or None while under-observed."""
+        window = self._errors[index]
+        if len(window) < self.config.min_observations:
+            return None
+        return sum(window) / len(window)
+
+    def is_healthy(self, index: int) -> bool:
+        if index in self._marked_offline:
+            return False
+        rate = self.error_rate(index)
+        if rate is not None and rate >= self.config.unhealthy_error_rate:
+            return False
+        slo = self.config.latency_slo_s
+        if slo is not None:
+            estimate = self._rtt.estimate_s(index, 90.0)
+            if estimate is not None and estimate > slo:
+                return False
+        return True
+
+    def _mark_offline(self, index: int) -> None:
+        if index not in self._marked_offline:
+            self._marked_offline.add(index)
+            self.stats.marked_offline += 1
+
+    def _mark_recovered(self, index: int) -> None:
+        if index in self._marked_offline:
+            self._marked_offline.discard(index)
+            self._errors[index].clear()
+            self.stats.recovered += 1
+
+    def probe_once(self) -> None:
+        """One active liveness round: reconcile the marked-offline set
+        with each gateway host's actual reachability."""
+        self.stats.probe_rounds += 1
+        for index, bridge in enumerate(self.bridges):
+            if bridge.node.host.online:
+                self._mark_recovered(index)
+            else:
+                self._mark_offline(index)
+
+    def run_probes(self, until_s: float) -> Generator:
+        """Active health-check process: probe every
+        ``probe_interval_s`` until the simulated horizon (spawn me)."""
+        interval = self.config.probe_interval_s
+        if interval is None:
+            raise ReproError("run_probes needs probe_interval_s configured")
+        while self.sim.now + interval <= until_s:
+            yield interval
+            self.probe_once()
+
+    # -- routing -----------------------------------------------------------
+
+    def primary_for(self, cid: Cid) -> int:
+        """The ring-primary gateway for ``cid`` (health ignored)."""
+        position = bisect_right(self._ring_points, _ring_point(cid.encode_binary()))
+        if position == len(self._ring):
+            position = 0
+        return self._ring[position][1]
+
+    def _rotate(self) -> int:
+        """Hand out the next round-robin member (the DNS answer)."""
+        index = self._round_robin
+        self._round_robin = (index + 1) % len(self.bridges)
+        return index
+
+    def _first_healthy_from(self, start: int) -> int:
+        """The first healthy member at or after ``start`` in index
+        order; ``start`` itself when nothing is healthy."""
+        for step in range(len(self.bridges)):
+            index = (start + step) % len(self.bridges)
+            if self.is_healthy(index):
+                return index
+        return start
+
+    def route(self, cid: Cid) -> int:
+        """The consistent-hash choice for ``cid``: the ring primary,
+        or — with failover on — the first healthy gateway clockwise
+        from it. Falls back to the primary when nothing is healthy."""
+        position = bisect_right(self._ring_points, _ring_point(cid.encode_binary()))
+        if position == len(self._ring):
+            position = 0
+        primary = self._ring[position][1]
+        if not self.config.failover:
+            return primary
+        seen: set[int] = set()
+        for step in range(len(self._ring)):
+            index = self._ring[(position + step) % len(self._ring)][1]
+            if index in seen:
+                continue
+            seen.add(index)
+            if self.is_healthy(index):
+                return index
+            if len(seen) == len(self.bridges):
+                break
+        return primary
+
+    # -- serving -----------------------------------------------------------
+
+    def get(
+        self,
+        cid: Cid,
+        user: str = "browser",
+        country: str = "??",
+        size_hint: int | None = None,
+    ) -> Generator:
+        """Serve one GET through the fleet (a process; spawn or embed).
+
+        Routes by consistent hash, detects dead gateways on contact
+        (marking them so later requests route around), and feeds every
+        outcome back into the health windows.
+        """
+        self.stats.requests += 1
+        round_robin = self.config.routing == "round_robin"
+        if round_robin:
+            primary = self._rotate()
+            index = (
+                self._first_healthy_from(primary)
+                if self.config.failover else primary
+            )
+        else:
+            primary = self.primary_for(cid)
+            index = self.route(cid)
+        bridge = self.bridges[index]
+        if not bridge.node.host.online:
+            # Connection refused. Mark it; with failover, re-route this
+            # very request to the next healthy gateway.
+            self._mark_offline(index)
+            self.record_outcome(index, ok=False, latency_s=None)
+            if self.config.failover:
+                index = (
+                    self._first_healthy_from((index + 1) % len(self.bridges))
+                    if round_robin else self.route(cid)
+                )
+                bridge = self.bridges[index]
+            if not bridge.node.host.online:
+                self.stats.down_errors += 1
+                raise GatewayDownError(f"gateway {index} is offline for {cid}")
+        if index != primary:
+            self.stats.failovers += 1
+        try:
+            response: BridgedResponse = yield from bridge.get(
+                cid, user=user, country=country, size_hint=size_hint
+            )
+        except GatewayDownError:
+            self._mark_offline(index)
+            self.record_outcome(index, ok=False, latency_s=None)
+            self.stats.down_errors += 1
+            raise
+        except Exception:
+            self.record_outcome(index, ok=False, latency_s=None)
+            raise
+        # A shed response is the gateway telling us it is overloaded:
+        # count it against health so its range starts failing over.
+        self.record_outcome(
+            index, ok=not response.shed,
+            latency_s=None if response.shed else response.latency,
+        )
+        if not response.shed:
+            self.stats.served_by_gateway[index] += 1
+        return response
+
+    # -- reporting ---------------------------------------------------------
+
+    def overload_totals(self) -> dict[str, int]:
+        """Summed overload counters across the member bridges."""
+        totals = {
+            "coalesced_joins": 0, "single_flights": 0, "shed": 0,
+            "brownout_stale_served": 0, "brownout_paths_dropped": 0,
+            "hint_fetches": 0, "hint_fallbacks": 0,
+            "duplicate_launches": 0,
+        }
+        for bridge in self.bridges:
+            stats = bridge.overload_stats
+            totals["coalesced_joins"] += stats.coalesced_joins
+            totals["single_flights"] += stats.single_flights
+            totals["shed"] += stats.shed
+            totals["brownout_stale_served"] += stats.brownout_stale_served
+            totals["brownout_paths_dropped"] += stats.brownout_paths_dropped
+            totals["hint_fetches"] += stats.hint_fetches
+            totals["hint_fallbacks"] += stats.hint_fallbacks
+            totals["duplicate_launches"] += bridge.duplicate_launches
+        return totals

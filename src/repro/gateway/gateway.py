@@ -100,5 +100,6 @@ class Gateway:
         the paper once the node store is counted)."""
         if not self.log:
             return 0.0
-        hits = sum(1 for entry in self.log if entry.tier != CacheTier.NON_CACHED)
+        hit_tiers = (CacheTier.NGINX, CacheTier.NODE_STORE)
+        hits = sum(1 for entry in self.log if entry.tier in hit_tiers)
         return hits / len(self.log)

@@ -11,11 +11,17 @@ from repro.utils.stats import percentile
 
 
 class CacheTier(str, Enum):
-    """Where a request was served from (the three columns of Table 5)."""
+    """Where a request was served from (the three columns of Table 5).
+
+    ``SHED`` is ours, not the paper's: admission control turned the
+    request away with a 503-equivalent before any upstream work ran
+    (zero bytes served). Stock replays never produce it.
+    """
 
     NGINX = "nginx cache"
     NODE_STORE = "IPFS node store"
     NON_CACHED = "Non Cached"
+    SHED = "Shed"
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,8 @@ def bin_traffic(
     the two stacked series of Figure 11b."""
     bins: dict[int, list[int]] = defaultdict(lambda: [0, 0])
     for entry in entries:
+        if entry.tier == CacheTier.SHED:
+            continue  # nothing was served; Fig 11b plots traffic
         index = int(entry.timestamp // bin_seconds)
         if entry.tier == CacheTier.NON_CACHED:
             bins[index][1] += 1

@@ -45,6 +45,12 @@ from repro.experiments.gateway_exp import (
     GatewayExperimentConfig,
     run_gateway_experiment,
 )
+from repro.experiments.flash_crowd import (
+    FlashCrowdConfig,
+    bench_overload_config,
+    grade_flash_crowd,
+    run_flash_crowd,
+)
 from repro.experiments.nat_sweep import (
     NatSweepConfig,
     bench_nat_config,
@@ -262,6 +268,30 @@ def _build_parser() -> argparse.ArgumentParser:
     nat.add_argument("--bench", action="store_true",
                      help="use the frozen BENCH_nat.json configuration "
                           "(overrides --peers/--hours/--retrievals)")
+
+    flash = sub.add_parser(
+        "flash-crowd",
+        help="overload storms vs the gateway fleet, stock vs hardened, "
+             "graded on spike goodput / sheds / p99",
+    )
+    flash.add_argument("--gateways", type=int, default=None,
+                       help="fleet size (default: experiment default)")
+    flash.add_argument("--object-kib", type=int, default=None,
+                       help="catalogue object size in KiB")
+    flash.add_argument("--deadline", type=float, default=None,
+                       help="client abandon deadline in simulated seconds")
+    flash.add_argument("--storms", default=None,
+                       help="comma-separated storm shapes "
+                            "(default: nft_drop,diurnal_storm)")
+    flash.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharding the (storm, arm) "
+                            "cells; output is identical for any value")
+    flash.add_argument("--export", metavar="FILE", default=None,
+                       help="write the graded overload JSON artifact "
+                            "(BENCH_overload.json style)")
+    flash.add_argument("--bench", action="store_true",
+                       help="use the frozen BENCH_overload.json "
+                            "configuration (overrides the shape flags)")
     return parser
 
 
@@ -601,6 +631,35 @@ def _cmd_nat_sweep(args) -> int:
     return 1 if report.overall.value == "FAIL" else 0
 
 
+def _cmd_flash_crowd(args) -> int:
+    """Graded flash-crowd comparison; exit 1 when any grade FAILs."""
+    if args.bench:
+        config = bench_overload_config()
+        if args.seed != 42:  # parser default — an explicit seed wins
+            config = dataclasses.replace(config, seed=args.seed)
+    else:
+        overrides = {"seed": args.seed}
+        if args.gateways is not None:
+            overrides["n_gateways"] = args.gateways
+        if args.object_kib is not None:
+            overrides["object_size"] = args.object_kib * 1024
+        if args.deadline is not None:
+            overrides["deadline_s"] = args.deadline
+        if args.storms is not None:
+            overrides["storms"] = tuple(
+                part.strip() for part in args.storms.split(",")
+            )
+        config = FlashCrowdConfig(**overrides)
+    results = run_flash_crowd(config, workers=args.workers)
+    report = grade_flash_crowd(results)
+    print(report.render_text())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nwrote graded overload report to {args.export}")
+    return 1 if report.overall.value == "FAIL" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -614,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "attack": _cmd_attack,
         "nat-sweep": _cmd_nat_sweep,
+        "flash-crowd": _cmd_flash_crowd,
     }
     return handlers[args.command](args) or 0
 

@@ -11,9 +11,18 @@ equivalents:
 - :mod:`repro.workloads.gateway_trace` — a day of gateway GET requests
   matching the Section 4.2/6.3 usage characteristics (diurnal demand,
   Zipf popularity, object sizes, referrers).
+- :mod:`repro.workloads.bursts` — flash-crowd storms (NFT drops,
+  region-skewed diurnal surges) for the overload experiments.
 - :mod:`repro.workloads.objects` — content corpora for experiments.
 """
 
+from repro.workloads.bursts import (
+    BurstRequest,
+    DiurnalStormConfig,
+    NftDropConfig,
+    generate_diurnal_storm,
+    generate_nft_drop,
+)
 from repro.workloads.gateway_trace import GatewayTraceConfig, generate_gateway_trace
 from repro.workloads.objects import generate_corpus
 from repro.workloads.population import (
@@ -24,7 +33,12 @@ from repro.workloads.population import (
 )
 
 __all__ = [
+    "BurstRequest",
+    "DiurnalStormConfig",
     "GatewayTraceConfig",
+    "NftDropConfig",
+    "generate_diurnal_storm",
+    "generate_nft_drop",
     "PeerSpec",
     "Population",
     "PopulationConfig",

@@ -122,3 +122,61 @@ class TestStaleServing:
         response = get(sim, bridge, root)
         assert response.tier == CacheTier.NGINX
         assert not response.degraded
+
+    def test_entry_exactly_at_ttl_is_still_fresh(self, world):
+        # The boundary is inclusive: age == TTL serves from nginx
+        # without revalidating; one tick later it is stale.
+        sim, node, publisher, root, data = world
+        bridge = make_bridge(node, cache_ttl_s=TTL)
+        get(sim, bridge, root)
+        cached_at = bridge._cached_at[root]
+        sim.run(until=cached_at + TTL)
+        assert sim.now - cached_at == TTL
+        response = get(sim, bridge, root)
+        assert response.tier == CacheTier.NGINX
+        assert not response.degraded
+
+    def test_stale_served_counters_accumulate(self, world):
+        sim, node, publisher, root, data = world
+        bridge = make_bridge(node, cache_ttl_s=TTL)
+        get(sim, bridge, root)
+        publisher.host.set_online(False)
+        for expected in (1, 2):
+            sim.run(until=bridge._cached_at[root] + TTL + 1.0)
+            node.disconnect_all()
+            response = get(sim, bridge, root)
+            assert response.degraded
+            assert bridge.stale_served == expected
+            assert node.resilience.stats.stale_served == expected
+
+
+class TestCachedAtEviction:
+    def test_evicted_objects_drop_their_timestamps(self, world):
+        # Regression: _cached_at used to grow with every distinct CID
+        # ever cached; eviction now prunes it in lockstep.
+        sim, node, publisher, root, data = world
+        bridge = GatewayBridge(node, cache_capacity_bytes=150_000,
+                               cache_ttl_s=TTL)
+
+        def publish(index):
+            def proc():
+                payload = derive_rng(94, "extra", str(index)).randbytes(90_000)
+                extra_root, _ = yield from publisher.add_and_publish(payload)
+                return extra_root
+            return sim.run_process(proc())
+
+        roots = [publish(index) for index in range(4)]
+        for extra in roots:
+            get(sim, bridge, extra)  # 90 KB each into a 150 KB cache
+        assert bridge.web_cache.evictions >= 3
+        # The side table tracks exactly the entries still cached.
+        assert set(bridge._cached_at) == set(bridge.web_cache._entries)
+        assert len(bridge._cached_at) < len(roots)
+
+    def test_oversized_objects_leave_no_timestamp(self, world):
+        sim, node, publisher, root, data = world
+        bridge = GatewayBridge(node, cache_capacity_bytes=10_000,
+                               cache_ttl_s=TTL)
+        get(sim, bridge, root)  # 100 KB object, 10 KB cache: declined
+        assert root not in bridge.web_cache
+        assert root not in bridge._cached_at

@@ -62,6 +62,46 @@ class TestObjectCache:
             cache.insert(i, 90)
             assert cache.used_bytes <= 500
 
+    def test_object_exactly_at_capacity_is_cached(self):
+        cache = ObjectCache(100)
+        cache.insert("exact", 100)
+        assert "exact" in cache
+        assert cache.used_bytes == 100
+        # And it evicts everything else when inserted into a warm cache.
+        cache.insert("other", 1)
+        cache.insert("exact2", 100)
+        assert "exact2" in cache and "other" not in cache
+
+    def test_eviction_callback_fires_per_eviction(self):
+        evicted = []
+        cache = ObjectCache(200, on_evict=evicted.append)
+        cache.insert("a", 100)
+        cache.insert("b", 100)
+        cache.insert("c", 150)  # evicts a and b
+        assert evicted == ["a", "b"]
+        # Re-inserting an existing key is an update, not an eviction.
+        cache.insert("c", 140)
+        assert evicted == ["a", "b"]
+        # Declined oversized inserts never fire the callback.
+        cache.insert("huge", 10_000)
+        assert evicted == ["a", "b"]
+
+    def test_used_bytes_tracks_entries_under_random_ops(self):
+        rng = derive_rng(17, "cache-ops")
+        evicted = []
+        cache = ObjectCache(1000, on_evict=evicted.append)
+        for _ in range(500):
+            key = rng.randrange(40)
+            if rng.random() < 0.7:
+                cache.insert(key, rng.randrange(1, 400))
+            else:
+                cache.lookup(key)
+            assert cache.used_bytes == sum(cache._entries.values())
+            assert 0 <= cache.used_bytes <= cache.capacity_bytes
+        # Every key is either cached now or was evicted (or declined);
+        # no entry leaked out of the byte accounting.
+        assert len(cache) <= 40
+
 
 def make_gateway(capacity=10_000, pinned=frozenset({7})):
     return Gateway(
