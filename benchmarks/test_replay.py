@@ -1,0 +1,48 @@
+"""Full-day replay bench: the batched 7.1 M-request pipeline, CI-sized.
+
+The smoke test regenerates the committed ``BENCH_replay.json`` grid
+(a model arm at the quick-tier scale and a live-fleet arm) sharded
+across workers, and checks both the grades and the bytes — the same
+check CI's ``replay`` matrix cell performs via ``cmp``.
+"""
+
+import pathlib
+
+from conftest import save_report
+
+from repro.experiments.replay import (
+    bench_replay_configs,
+    grade_replay,
+    run_replay_grid,
+)
+from repro.validation.compare import Grade
+
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+)
+
+
+def test_replay_smoke():
+    """Fast end-to-end pass for CI: the frozen bench grid, sharded,
+    must reproduce the committed artifact byte-for-byte and grade PASS."""
+    results = run_replay_grid(bench_replay_configs(), workers=2)
+    report = grade_replay(results)
+    save_report("replay", report.render_text())
+
+    assert report.overall is Grade.PASS
+    # Headline acceptance criteria: the model arm reproduces Table 5's
+    # cache-tier split, and the fleet arm answers every admitted miss
+    # with zero duplicate upstream launches (PR-8 semantics intact).
+    model, fleet = results
+    assert model.backend == "model" and fleet.backend == "fleet"
+    assert abs(model.nginx_share - 0.460) / 0.460 < 0.12
+    assert abs(model.node_store_share - 0.402) / 0.402 < 0.08
+    assert model.combined_hit_rate > 0.80
+    assert fleet.answered_fraction == 1.0
+
+    assert report.to_json() == BASELINE.read_text(), (
+        "graded replay grid drifted from the committed "
+        "BENCH_replay.json; regenerate with: "
+        "python -m repro.tools.cli replay --bench "
+        "--export BENCH_replay.json"
+    )

@@ -1,0 +1,361 @@
+"""Grade the batched full-day gateway replay against Table 5 / Fig 11.
+
+:func:`run_replay_grid` runs one replay per configured backend (the
+``model`` arm grades the paper's fitted latency distributions at any
+scale up to the full 7.1 M-request day; the ``fleet`` arm routes the
+miss tail through the real PR-8 overload stack) and
+:func:`grade_replay` turns the merged results into PASS/WARN/FAIL rows
+using the same comparators and tolerance bands as the conformance
+registry (:mod:`repro.validation.targets`):
+
+- **Table 5 tier shares** — nginx 0.460, node store 0.402, combined
+  hit rate > 0.80;
+- **Fig 11 / Table 5 latencies** (``model`` arm) — non-cached median
+  4.04 s, node-store median 8 ms and hard 24 ms cap;
+- **usage** — requests per user 70.3, daily bytes 6.57 TB / scale,
+  referral shares 51.8 % / 70.6 %;
+- **overload semantics** (``fleet`` arm) — answered fraction and zero
+  duplicate upstream launches (consistent hashing + single flight).
+
+Both arms share the stage-2 tier resolution, so front-end decisions
+are identical by construction — pinned by the equivalence tests in
+``tests/experiments/test_replay_exp.py`` (sheds fold back into
+misses), not by a graded row.
+
+Informational rows (unique CIDs requested, requests per CID, TTFB
+percentiles) are reported ungraded: at scale=1 the synthetic Zipf tail
+touches ~179 k of the 274 k-CID universe, a known trace-generator gap
+that the graded Table 5 / Fig 11 rows do not depend on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.gateway.replay import ReplayConfig, ReplayResult, run_replay
+from repro.validation.compare import (
+    Grade,
+    grade_at_least,
+    grade_distance,
+    grade_relative_error,
+    worst_grade,
+)
+from repro.workloads.gateway_trace import GatewayTraceConfig
+
+#: Paper values and tolerance bands (mirroring validation.targets).
+NGINX_SHARE = (0.460, 0.12, 0.25)
+NODE_STORE_SHARE = (0.402, 0.08, 0.15)
+COMBINED_HIT_FLOOR = (0.80, 0.05)
+REQUESTS_PER_USER = (7_100_000 / 101_000, 0.10, 0.20)
+DAILY_BYTES = (6.57e12, 0.15, 0.30)
+REFERRED_SHARE = (0.518, 0.05, 0.10)
+SEMI_POPULAR_SHARE = (0.706, 0.05, 0.10)
+NON_CACHED_MEDIAN_S = (4.04, 0.10, 0.25)
+NODE_STORE_MEDIAN_S = (0.008, 0.25, 0.50)
+NODE_STORE_MAX_S = 0.024
+#: fleet arm: the replayed day must not be shed away.
+ANSWERED_FRACTION_FLOOR = (0.75, 0.15)
+
+
+def bench_replay_configs() -> list[ReplayConfig]:
+    """The grid frozen into ``BENCH_replay.json`` (CI-sized).
+
+    The ``model`` arm runs at the conformance harness's quick-tier
+    scale (120) with the production 1800 s windows — 48 cells, so the
+    worker-sharded merge is exercised hard; the ``fleet`` arm runs at
+    scale 2000 with 6 h windows, small enough that building a fresh
+    simulated world per window stays CI-cheap.
+    """
+    return [
+        ReplayConfig(
+            seed=42,
+            trace=GatewayTraceConfig(scale=120),
+            miss_backend="model",
+        ),
+        ReplayConfig(
+            seed=42,
+            trace=GatewayTraceConfig(scale=2000),
+            miss_backend="fleet",
+            window_s=21600.0,
+            # Half the corpus fits: ~300 genuine misses reach the
+            # simulated fleet over the day — enough to exercise the
+            # admission/coalescing/hint plumbing, cheap enough for CI.
+            cache_fraction_of_corpus=0.5,
+        ),
+    ]
+
+
+def full_day_config(seed: int = 42) -> ReplayConfig:
+    """The paper-scale day: 7.1 M requests, model miss tail.
+
+    The cache budget is calibrated so the nginx hit share lands on the
+    paper's 46 % (Table 5): a sweep over corpus fractions at scale=1
+    gave 0.002→0.398, 0.006→0.447, **0.010→0.467**, 0.02→0.492,
+    0.15→0.551; 0.010 is the closest point to 0.460 (1.5 % off).  The
+    hot head of the Zipf corpus is what nginx actually retains, so the
+    calibrated budget is far below the small-scale default.
+    """
+    return ReplayConfig(
+        seed=seed,
+        trace=GatewayTraceConfig(scale=1),
+        miss_backend="model",
+        cache_fraction_of_corpus=0.01,
+    )
+
+
+def run_replay_grid(
+    configs: list[ReplayConfig], workers: int = 1
+) -> list[ReplayResult]:
+    """Run every configured replay (each already shards per-window)."""
+    return [run_replay(config, workers) for config in configs]
+
+
+@dataclass
+class ReplayGradeRow:
+    """One graded (or informational) metric of a replay run."""
+
+    metric: str
+    backend: str
+    measured: float
+    expected: float | None
+    grade: Grade | None  # None = informational, excluded from overall
+
+
+def _grade_run(result: ReplayResult) -> list[ReplayGradeRow]:
+    rows: list[ReplayGradeRow] = []
+    backend = result.backend
+
+    def rel(metric: str, measured: float, spec: tuple[float, float, float]):
+        expected, pass_tol, warn_tol = spec
+        _, grade = grade_relative_error(measured, expected, pass_tol, warn_tol)
+        rows.append(ReplayGradeRow(metric, backend, measured, expected, grade))
+
+    def floor(metric: str, measured: float, spec: tuple[float, float]):
+        floor_value, warn_slack = spec
+        _, grade = grade_at_least(measured, floor_value, warn_slack)
+        rows.append(
+            ReplayGradeRow(metric, backend, measured, floor_value, grade)
+        )
+
+    def info(metric: str, measured: float, expected: float | None = None):
+        rows.append(ReplayGradeRow(metric, backend, measured, expected, None))
+
+    model = backend == "model"
+
+    def trace_row(metric, measured, spec):
+        """Paper-facing trace statistics: graded on the model arm
+        (which runs at a statistically meaningful scale), reported
+        ungraded on the fleet arm (whose CI-sized universe of a few
+        dozen CIDs makes share estimates meaninglessly noisy)."""
+        if model:
+            rel(metric, measured, spec)
+        else:
+            info(metric, measured, spec[0])
+
+    # Table 5 tier shares. Sheds (fleet arm only) count against the
+    # denominator, exactly like the SHED tier in the access log.
+    trace_row("nginx_request_share", result.nginx_share, NGINX_SHARE)
+    trace_row(
+        "node_store_request_share", result.node_store_share, NODE_STORE_SHARE
+    )
+    if model:
+        floor("combined_hit_rate", result.combined_hit_rate, COMBINED_HIT_FLOOR)
+    else:
+        info("combined_hit_rate", result.combined_hit_rate, COMBINED_HIT_FLOOR[0])
+
+    # Usage (Section 4.2) — scaled to the configured day fraction.
+    trace_row("requests_per_user", result.requests_per_user, REQUESTS_PER_USER)
+    expected_bytes, pass_tol, warn_tol = DAILY_BYTES
+    trace_row(
+        "daily_bytes",
+        float(result.total_bytes),
+        (expected_bytes / result.config.trace.scale, pass_tol, warn_tol),
+    )
+    trace_row("referred_share", result.referred_share, REFERRED_SHARE)
+    trace_row(
+        "semi_popular_referral_share",
+        result.semi_popular_referral_share,
+        SEMI_POPULAR_SHARE,
+    )
+    info("unique_cids_requested", float(result.cid_count))
+    info("requests_per_cid", result.requests_per_cid, 7_100_000 / 274_000)
+
+    if model:
+        # Fig 11 / Table 5 latencies: the fitted distributions, graded
+        # at whatever scale the run used (scale=1 = the paper's day).
+        rel(
+            "non_cached_median_s",
+            result.tier_percentile("non_cached", 50),
+            NON_CACHED_MEDIAN_S,
+        )
+        rel(
+            "node_store_median_s",
+            result.tier_percentile("node_store", 50),
+            NODE_STORE_MEDIAN_S,
+        )
+        store_max = (
+            result.node_store_latencies[-1]
+            if len(result.node_store_latencies) else 0.0
+        )
+        overshoot = max(0.0, (store_max - NODE_STORE_MAX_S) / NODE_STORE_MAX_S)
+        _, grade = grade_distance(overshoot, 0.01, 0.10)
+        rows.append(
+            ReplayGradeRow(
+                "node_store_max_s", backend, store_max, NODE_STORE_MAX_S, grade
+            )
+        )
+        for q in (50, 90, 95, 99):
+            info("ttfb_p%d_s" % q, result.latency_percentile(q))
+        info("non_cached_p90_s", result.tier_percentile("non_cached", 90))
+        info("non_cached_p99_s", result.tier_percentile("non_cached", 99))
+    else:
+        floor(
+            "answered_fraction",
+            result.answered_fraction,
+            ANSWERED_FRACTION_FLOOR,
+        )
+        duplicates = result.overload_totals.get("duplicate_launches", 0)
+        rows.append(
+            ReplayGradeRow(
+                "fleet_duplicate_launches", backend, float(duplicates), 0.0,
+                Grade.PASS if duplicates == 0 else Grade.FAIL,
+            )
+        )
+        info("shed_requests", float(result.tier_counts["shed"]))
+        info(
+            "coalesced_joins",
+            float(result.overload_totals.get("coalesced_joins", 0)),
+        )
+        info(
+            "hint_fetches",
+            float(result.overload_totals.get("hint_fetches", 0)),
+        )
+        info("non_cached_p50_s", result.tier_percentile("non_cached", 50))
+        info("non_cached_p99_s", result.tier_percentile("non_cached", 99))
+    return rows
+
+
+def grade_replay(results: list[ReplayResult]) -> "ReplayReport":
+    """Grade every run into one report. Front-end tier equivalence
+    between the arms holds by construction (both replay the same
+    stage-2 tier sequence; the fleet arm may only recolor misses into
+    sheds) and is pinned by the test suite rather than re-derived
+    here."""
+    rows: list[ReplayGradeRow] = []
+    for result in results:
+        rows.extend(_grade_run(result))
+    return ReplayReport(results=results, rows=rows)
+
+
+@dataclass
+class ReplayReport:
+    """The graded artifact behind ``BENCH_replay.json``."""
+
+    results: list[ReplayResult]
+    rows: list[ReplayGradeRow]
+
+    @property
+    def overall(self) -> Grade:
+        return worst_grade(
+            [row.grade for row in self.rows if row.grade is not None]
+        )
+
+    def to_json_dict(self) -> dict:
+        def r(value):
+            return None if value is None else round(value, 6)
+
+        runs = []
+        for result in self.results:
+            config = result.config
+            runs.append(
+                {
+                    "backend": result.backend,
+                    "seed": config.seed,
+                    "scale": config.trace.scale,
+                    "window_s": r(config.window_s),
+                    "n_requests": result.n_requests,
+                    "user_count": result.user_count,
+                    "cid_count": result.cid_count,
+                    "total_bytes": result.total_bytes,
+                    "served_bytes": result.served_bytes,
+                    "tier_counts": dict(result.tier_counts),
+                    "tier_bytes": dict(result.tier_bytes),
+                    "referred_count": result.referred_count,
+                    "semi_popular_count": result.semi_popular_count,
+                    "overload_totals": dict(result.overload_totals),
+                    "failovers": result.failovers,
+                    "down_errors": result.down_errors,
+                    "windows": [
+                        {
+                            "window": window.window,
+                            "requests": window.requests,
+                            "nginx": window.nginx,
+                            "node_store": window.node_store,
+                            "non_cached": window.non_cached,
+                            "shed": window.shed,
+                        }
+                        for window in result.windows
+                    ],
+                }
+            )
+        rows = [
+            {
+                "metric": row.metric,
+                "backend": row.backend,
+                "measured": r(row.measured),
+                "expected": r(row.expected),
+                "grade": row.grade.value if row.grade is not None else "info",
+            }
+            for row in self.rows
+        ]
+        return {
+            "schema": "repro.replay/v1",
+            "runs": runs,
+            "grades": rows,
+            "overall": self.overall.value,
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes: stable ordering, no wall-clock, 6-decimal
+        floats — ``cmp``-able against a committed baseline."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        lines = []
+        for result in self.results:
+            config = result.config
+            lines.append(
+                f"replay[{result.backend}] scale={config.trace.scale} "
+                f"n={result.n_requests} users={result.user_count} "
+                f"cids={result.cid_count} bytes={result.total_bytes:.3e}"
+            )
+            counts = result.tier_counts
+            lines.append(
+                f"  tiers: nginx={counts['nginx']} "
+                f"node_store={counts['node_store']} "
+                f"non_cached={counts['non_cached']} shed={counts['shed']}"
+            )
+            timing = result.timings
+            lines.append(
+                "  wall-clock: generate=%.1fs resolve=%.1fs windows=%.1fs "
+                "merge=%.1fs total=%.1fs"
+                % (
+                    timing.get("generate_s", 0.0),
+                    timing.get("resolve_s", 0.0),
+                    timing.get("windows_s", 0.0),
+                    timing.get("merge_s", 0.0),
+                    timing.get("total_s", 0.0),
+                )
+            )
+        lines.append("")
+        for row in self.rows:
+            expected = "" if row.expected is None else f" vs {row.expected:g}"
+            grade = row.grade.value if row.grade is not None else "info"
+            lines.append(
+                f"{row.metric:<28} {row.backend:<6} "
+                f"{row.measured:>12.6g}{expected:<14} {grade}"
+            )
+        lines.append("")
+        lines.append(f"overall: {self.overall.value}")
+        return "\n".join(lines)

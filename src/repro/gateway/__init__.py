@@ -25,6 +25,12 @@ from repro.gateway.overload import (
     OverloadStats,
     ProviderHintCache,
 )
+from repro.gateway.replay import (
+    ReplayConfig,
+    ReplayResult,
+    resolve_tiers,
+    run_replay,
+)
 
 __all__ = [
     "AccessLogEntry",
@@ -40,8 +46,12 @@ __all__ = [
     "OverloadConfig",
     "OverloadStats",
     "ProviderHintCache",
+    "ReplayConfig",
+    "ReplayResult",
     "UpstreamModel",
     "bin_traffic",
     "default_upstream_model",
+    "resolve_tiers",
+    "run_replay",
     "tier_summary",
 ]

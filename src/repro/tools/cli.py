@@ -58,6 +58,13 @@ from repro.experiments.nat_sweep import (
     run_nat_sweep,
 )
 from repro.experiments.perf import PerfConfig, run_perf_experiment
+from repro.experiments.replay import (
+    bench_replay_configs,
+    full_day_config,
+    grade_replay,
+    run_replay_grid,
+)
+from repro.gateway.replay import ReplayConfig
 from repro.experiments.report import render_cdf, render_share_table, render_table
 from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
 from repro.node.config import NodeConfig
@@ -292,6 +299,36 @@ def _build_parser() -> argparse.ArgumentParser:
     flash.add_argument("--bench", action="store_true",
                        help="use the frozen BENCH_overload.json "
                             "configuration (overrides the shape flags)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="batched full-day gateway replay graded against "
+             "Table 5 / Fig 11 (scale=1 = the paper's 7.1 M requests)",
+    )
+    replay.add_argument("--scale", type=int, default=1,
+                        help="trace scale divisor (default 1: the full "
+                             "7.1 M-request day)")
+    replay.add_argument("--backend", choices=["model", "fleet"],
+                        default="model",
+                        help="miss tail: fitted latency model (full-scale "
+                             "grading) or a live simulated gateway fleet "
+                             "(PR-8 overload semantics)")
+    replay.add_argument("--window", type=float, default=None,
+                        help="batch window in trace seconds "
+                             "(default 1800, the Fig 11b bin width)")
+    replay.add_argument("--cache-fraction", type=float, default=None,
+                        help="nginx cache budget as a corpus fraction "
+                             "(default: calibrated per scale)")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="worker processes sharding the time-window "
+                             "cells; output is identical for any value")
+    replay.add_argument("--export", metavar="FILE", default=None,
+                        help="write the graded replay JSON artifact "
+                             "(BENCH_replay.json style)")
+    replay.add_argument("--bench", action="store_true",
+                        help="use the frozen BENCH_replay.json grid "
+                             "(model + fleet arms, CI-sized; overrides "
+                             "the shape flags)")
     return parser
 
 
@@ -660,6 +697,40 @@ def _cmd_flash_crowd(args) -> int:
     return 1 if report.overall.value == "FAIL" else 0
 
 
+def _cmd_replay(args) -> int:
+    """Graded batched day replay; exit 1 when any grade FAILs."""
+    if args.bench:
+        configs = bench_replay_configs()
+        if args.seed != 42:  # parser default — an explicit seed wins
+            configs = [
+                dataclasses.replace(config, seed=args.seed)
+                for config in configs
+            ]
+    else:
+        if args.scale == 1:
+            # The calibrated full-day cache budget (see
+            # full_day_config) only applies at paper scale.
+            config = full_day_config(seed=args.seed)
+        else:
+            config = ReplayConfig(
+                seed=args.seed, trace=GatewayTraceConfig(scale=args.scale)
+            )
+        overrides = {"miss_backend": args.backend}
+        if args.window is not None:
+            overrides["window_s"] = args.window
+        if args.cache_fraction is not None:
+            overrides["cache_fraction_of_corpus"] = args.cache_fraction
+        configs = [dataclasses.replace(config, **overrides)]
+    results = run_replay_grid(configs, workers=args.workers)
+    report = grade_replay(results)
+    print(report.render_text())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nwrote graded replay report to {args.export}")
+    return 1 if report.overall.value == "FAIL" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -674,6 +745,7 @@ def main(argv: list[str] | None = None) -> int:
         "attack": _cmd_attack,
         "nat-sweep": _cmd_nat_sweep,
         "flash-crowd": _cmd_flash_crowd,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args) or 0
 

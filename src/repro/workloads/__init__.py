@@ -23,7 +23,13 @@ from repro.workloads.bursts import (
     generate_diurnal_storm,
     generate_nft_drop,
 )
-from repro.workloads.gateway_trace import GatewayTraceConfig, generate_gateway_trace
+from repro.workloads.gateway_trace import (
+    ColumnarTrace,
+    GatewayTraceConfig,
+    generate_columnar_trace,
+    generate_gateway_trace,
+    trace_stream_sha256,
+)
 from repro.workloads.objects import generate_corpus
 from repro.workloads.population import (
     PeerSpec,
@@ -34,6 +40,9 @@ from repro.workloads.population import (
 
 __all__ = [
     "BurstRequest",
+    "ColumnarTrace",
+    "generate_columnar_trace",
+    "trace_stream_sha256",
     "DiurnalStormConfig",
     "GatewayTraceConfig",
     "NftDropConfig",

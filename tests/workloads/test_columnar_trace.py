@@ -1,0 +1,92 @@
+"""Columnar trace generator: byte-identity with the legacy path.
+
+The batched replay engine (PR 9) generates the day as parallel arrays
+instead of 7.1 M ``GatewayRequest`` objects.  These tests pin the
+contract that makes that safe: for the same seed the columnar stream is
+**byte-identical** to the legacy object stream (same sha256 over a
+canonical per-request serialization), so every consumer downstream of
+the generator — tier resolution, grading, golden artifacts — sees
+exactly the trace it always saw.
+"""
+
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.workloads.gateway_trace import (
+    GatewayTraceConfig,
+    generate_columnar_trace,
+    generate_gateway_trace,
+    trace_stream_sha256,
+)
+
+SCALE = 1000
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GatewayTraceConfig(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def legacy(config):
+    return generate_gateway_trace(config, derive_rng(42, "trace"))
+
+
+@pytest.fixture(scope="module")
+def columnar(config):
+    return generate_columnar_trace(config, derive_rng(42, "trace"))
+
+
+class TestByteIdentity:
+    def test_same_seed_same_sha256(self, legacy, columnar):
+        assert trace_stream_sha256(columnar.iter_requests()) == (
+            trace_stream_sha256(legacy.requests)
+        )
+
+    def test_different_seed_differs(self, config, legacy):
+        other = generate_columnar_trace(config, derive_rng(43, "trace"))
+        assert trace_stream_sha256(other.iter_requests()) != (
+            trace_stream_sha256(legacy.requests)
+        )
+
+    def test_requests_field_equal(self, legacy, columnar):
+        for got, want in zip(columnar.iter_requests(), legacy.requests):
+            assert got == want
+
+    def test_to_gateway_trace_round_trip(self, legacy, columnar):
+        rebuilt = columnar.to_gateway_trace()
+        assert rebuilt.requests == legacy.requests
+        assert rebuilt.pinned_cids == legacy.pinned_cids
+
+
+class TestAggregates:
+    def test_counts_match_legacy(self, legacy, columnar):
+        assert len(columnar) == len(legacy.requests)
+        assert columnar.user_count == len(legacy.users())
+        assert columnar.cid_count == len(legacy.unique_cids())
+        assert columnar.total_bytes == legacy.total_bytes()
+
+    def test_pinned_cids_match(self, legacy, columnar):
+        assert columnar.pinned_cids == legacy.pinned_cids
+
+    def test_timestamps_sorted(self, columnar):
+        ts = columnar.timestamps
+        assert all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1))
+
+
+class TestGatewayTraceCaching:
+    """Regression: users()/unique_cids()/total_bytes() used to rescan
+    all n requests on every call — O(n) per call, called in loops."""
+
+    def test_computed_once(self, config):
+        trace = generate_gateway_trace(config, derive_rng(7, "trace"))
+        first = trace.users()
+        assert trace.users() is first  # cached object, not a rescan
+        assert trace.unique_cids() is trace.unique_cids()
+        assert trace.total_bytes() == trace.total_bytes()
+
+    def test_cached_values_correct(self, config):
+        trace = generate_gateway_trace(config, derive_rng(7, "trace"))
+        assert trace.users() == {r.user for r in trace.requests}
+        assert trace.unique_cids() == {r.cid_index for r in trace.requests}
+        assert trace.total_bytes() == sum(r.size for r in trace.requests)
