@@ -24,10 +24,13 @@ from __future__ import annotations
 import platform
 import sys
 import time
+import tracemalloc
 from dataclasses import dataclass
 
 from repro.experiments.perf import PerfConfig, run_perf_experiment
 from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.simnet.compact import build_compact_world
+from repro.workloads.compact import generate_compact_population
 from repro.simnet.sim import Future, Simulator
 from repro.utils.rng import derive_rng
 from repro.workloads.population import PopulationConfig, generate_population
@@ -42,13 +45,19 @@ class BenchResult:
     unit: str
     wall_s: float
     detail: dict
+    #: throughput numbers are divided by the calibration score so the
+    #: gate compares machine-independent ratios; memory footprints are
+    #: already machine-independent, so they opt out and gate on the
+    #: raw value.
+    normalize: bool = True
 
     def as_dict(self, calibration: float) -> dict:
+        norm = self.value / calibration if self.normalize else self.value
         return {
             "value": round(self.value, 3),
             "unit": self.unit,
             "wall_s": round(self.wall_s, 4),
-            "norm": float(f"{self.value / calibration:.6g}"),
+            "norm": float(f"{norm:.6g}"),
             **self.detail,
         }
 
@@ -171,6 +180,55 @@ def bench_world_build(n_peers: int) -> BenchResult:
     )
 
 
+def bench_world_memory(n_peers: int, traced: bool | None = None) -> BenchResult:
+    """Bytes per peer for a compact (unmaterialized) world.
+
+    Two measurement modes, both deterministic for a fixed Python:
+
+    - ``traced`` (default at <= 20k): tracemalloc counts every Python
+      allocation the build retains — arrays, the digest index, the
+      network — so a per-peer object sneaking back into the compact
+      path shows up even if the declared accounting misses it. Tracing
+      costs ~10x build time, which is why it stays at the small size.
+    - untraced (the 100k point): the world's own ``nbytes`` accounting,
+      which is free and catches the asymptotic failure mode (an array
+      or index growing superlinearly). The 10k point's detail carries
+      both numbers, so drift between accounting and reality is visible
+      in the same artifact.
+
+    The metric is peers per MiB (bigger is better). Footprints do not
+    scale with CPU speed, so this result is *not* normalized: the gate
+    compares the raw value.
+    """
+    seed = 42
+    if traced is None:
+        traced = n_peers <= 20_000
+    if traced:
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+    t0 = time.perf_counter()
+    compact = generate_compact_population(
+        PopulationConfig(n_peers=n_peers), derive_rng(seed, "bench-kernel-pop")
+    )
+    world = build_compact_world(compact, ScenarioConfig(seed=seed))
+    wall = time.perf_counter() - t0
+    if traced:
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        used = current - before
+    else:
+        used = world.nbytes()
+    return BenchResult(
+        f"world_memory_{n_peers // 1000}k",
+        n_peers / (used / (1024 * 1024)),
+        "peers/MiB", wall,
+        {"n_peers": n_peers, "traced": traced,
+         "bytes_per_peer": round(used / n_peers, 1),
+         "array_bytes_per_peer": round(world.nbytes() / n_peers, 1)},
+        normalize=False,
+    )
+
+
 def bench_churn_events(n_peers: int = 2000, sim_hours: float = 24.0) -> BenchResult:
     """Kernel-bound churn replay: events/sec over a simulated day."""
     scenario = _build_world(n_peers, with_churn=True)
@@ -248,6 +306,12 @@ QUICK_BENCHES = (
     lambda: bench_process_switch(100_000),
     lambda: bench_world_build(1000),
     lambda: bench_macro_perf_experiment(800, 4),
+    # Memory gates run at full size even in CI: bytes/peer is
+    # deterministic for a fixed Python, and the 100k point is where a
+    # per-peer object sneaking back into the compact path would hide
+    # at smaller n.
+    lambda: bench_world_memory(10_000),
+    lambda: bench_world_memory(100_000),
 )
 
 FULL_BENCHES = (
@@ -259,6 +323,8 @@ FULL_BENCHES = (
     lambda: bench_world_build(10_000),
     bench_churn_events,
     bench_macro_perf_experiment,
+    lambda: bench_world_memory(10_000),
+    lambda: bench_world_memory(100_000),
 )
 
 SCALE_BENCHES = FULL_BENCHES + (bench_scale_smoke,)

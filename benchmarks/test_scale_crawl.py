@@ -1,0 +1,47 @@
+"""Scale-crawl bench: the graded Fig 4a/8 campaign, CI-sized.
+
+Regenerates the committed ``BENCH_scale.json`` configuration and checks
+grades plus determinism: everything except the telemetry block (wall
+clock, RSS — the only machine-dependent fields) must reproduce the
+committed artifact exactly. The 200 k-peer version of the same
+experiment runs in the nightly job.
+"""
+
+import json
+import pathlib
+
+from conftest import save_report
+
+from repro.experiments.scale import bench_scale_config, run_scale_crawl
+from repro.validation.compare import Grade
+
+BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+)
+
+
+def _comparable(doc: dict) -> dict:
+    doc = dict(doc)
+    doc.pop("telemetry")
+    return doc
+
+
+def test_scale_crawl_bench():
+    report = run_scale_crawl(bench_scale_config())
+    save_report("scale_crawl", report.render_text())
+
+    assert report.overall is Grade.PASS
+    by_key = {claim.key: claim for claim in report.claims}
+    # The two headline paper numbers, re-asserted directly so a drifted
+    # tolerance table can't silently weaken the bench.
+    assert abs(by_key["scale.undialable_fraction"].measured - 0.455) < 0.12
+    assert abs(by_key["scale.session_under_8h"].measured - 0.876) < 0.15
+    assert by_key["scale.session_count"].measured >= 300
+
+    committed = json.loads(BASELINE.read_text())
+    assert _comparable(report.to_json_dict()) == _comparable(committed), (
+        "graded scale campaign drifted from the committed "
+        "BENCH_scale.json; regenerate with: "
+        "python -m repro.tools.cli scale-crawl --bench "
+        "--export BENCH_scale.json"
+    )

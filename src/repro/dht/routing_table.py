@@ -46,10 +46,11 @@ class RoutingTable:
         self.failure_threshold = max(1, failure_threshold)
         # Bucket dicts map peer -> cached DHT key int; insertion order
         # doubles as the least-recently-seen order (a refresh re-inserts
-        # at the tail). Plain dicts keep insertion order and beat
-        # OrderedDict on both construction — tables allocate all 256
-        # buckets up front — and per-entry operations.
-        self._buckets: list[dict[PeerId, int]] = [{} for _ in range(KEY_BITS)]
+        # at the tail). Buckets are allocated *sparsely*, keyed by
+        # index: a table only ever populates O(log n) of its 256
+        # buckets, and the 256 upfront empty dicts (~16 KB/table) were
+        # the dominant per-peer memory cost at 100k+ peers.
+        self._buckets: dict[int, dict[PeerId, int]] = {}
         self._size = 0
         self._failures: dict[PeerId, int] = {}
         #: flat ``(key_int, peer_id)`` snapshot of every entry, rebuilt
@@ -71,7 +72,8 @@ class RoutingTable:
     def __contains__(self, peer_id: PeerId) -> bool:
         if peer_id == self.own_id:
             return False
-        return peer_id in self._buckets[self._bucket_for(peer_id)]
+        bucket = self._buckets.get(self._bucket_for(peer_id))
+        return bucket is not None and peer_id in bucket
 
     def _bucket_for(self, peer_id: PeerId) -> int:
         # Inline common_prefix_length on the cached integer keys: the
@@ -95,7 +97,9 @@ class RoutingTable:
             KEY_BITS - 1 if distance == 0
             else min(KEY_BITS - distance.bit_length(), KEY_BITS - 1)
         )
-        bucket = self._buckets[index]
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = {}
         existing = bucket.pop(peer_id, None)
         if existing is not None:
             bucket[peer_id] = existing  # re-insert at the tail (refresh)
@@ -110,7 +114,7 @@ class RoutingTable:
     def remove(self, peer_id: PeerId) -> None:
         """Evict a peer (e.g. after a failed dial)."""
         self._failures.pop(peer_id, None)
-        bucket = self._buckets[self._bucket_for(peer_id)]
+        bucket = self._buckets.get(self._bucket_for(peer_id), {})
         if peer_id in bucket:
             del bucket[peer_id]
             self._size -= 1
@@ -144,10 +148,13 @@ class RoutingTable:
     def _flat_entries(self) -> list[tuple[int, PeerId]]:
         flat = self._flat
         if flat is None:
+            # Sorted bucket indexes keep the flat order identical to
+            # the dense-list era (ascending bucket, insertion order
+            # within) regardless of which bucket was touched first.
             flat = [
                 (key_int, peer_id)
-                for bucket in self._buckets
-                for peer_id, key_int in bucket.items()
+                for index in sorted(self._buckets)
+                for peer_id, key_int in self._buckets[index].items()
             ]
             self._flat = flat
         return flat
@@ -182,10 +189,15 @@ class RoutingTable:
 
     def peers(self) -> list[PeerId]:
         """All table entries (used by the crawler's bucket dumps)."""
-        return [pid for bucket in self._buckets for pid in bucket]
+        return [
+            pid for index in sorted(self._buckets)
+            for pid in self._buckets[index]
+        ]
 
     def bucket_sizes(self) -> dict[int, int]:
         """Populated bucket index -> entry count (diagnostics)."""
         return {
-            index: len(bucket) for index, bucket in enumerate(self._buckets) if bucket
+            index: len(self._buckets[index])
+            for index in sorted(self._buckets)
+            if self._buckets[index]
         }

@@ -1,0 +1,570 @@
+"""Compact worlds: million-peer scenarios without per-peer object graphs.
+
+``build_scenario`` materializes every backdrop peer up front — a
+SimHost, a DhtNode with a filled routing table, a Bitswap engine and a
+churn process each — which is a few kilobytes and tens of microseconds
+per peer. That is fine at the 10-50 k scale of the per-figure
+experiments and hopeless at the network's real size (the paper crawls
+~few hundred thousand concurrently-online peers out of tens of
+millions of observed ones).
+
+This module builds the *same world* from columnar state:
+
+- peer attributes stay in the arrays of
+  :class:`~repro.workloads.compact.CompactPopulation`;
+- routing tables are precomputed as flat position arrays by replaying
+  :func:`~repro.dht.bootstrap.populate_routing_tables` draw-for-draw
+  against zero-copy views of the sorted server order (the slice copies
+  made the legacy fill quadratic in network size);
+- churn schedules are precomputed per peer into one flat delay array
+  (the per-peer streams of :class:`~repro.simnet.churn.SessionProcess`,
+  drawn ahead of time instead of lazily — same values, same order);
+- full ``SimHost``/``DhtNode``/``BitswapEngine`` objects exist only for
+  peers some protocol actually touches, materialized on demand through
+  :attr:`~repro.simnet.network.SimNetwork.host_resolver`.
+
+Equivalence is not asserted by analogy but *proved* by the differential
+harness in ``tests/simnet/test_compact_equivalence.py``: the same
+seeded population built both ways yields identical routing tables,
+address books, churn transition logs, and a byte-identical protocol
+trace.
+
+Determinism across workers: the event queue is a
+:class:`~repro.simnet.shard.ShardedSimulator` whose merge executes the
+global ``(time, sequence)`` order for any shard count, and the per-peer
+precompute is chunked through the same pure functions a worker pool
+would run, so every artifact is byte-identical for ``workers`` of 1, 2,
+4, ... — the property pinned for the crawl/churn experiments at paper
+scale.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import random
+import sys
+from array import array
+from collections.abc import Sequence
+from functools import partial
+
+from repro.bitswap.engine import BitswapEngine
+from repro.blockstore.memory import MemoryBlockstore
+from repro.dht.dht_node import DhtNode
+from repro.dht.keyspace import KEY_BITS
+from repro.dht.routing_table import K_BUCKET_SIZE
+from repro.errors import SimulationError
+from repro.multiformats.peerid import PeerId
+from repro.simnet.latency import Region
+from repro.simnet.network import SimHost, SimNetwork
+from repro.simnet.shard import ShardedSimulator
+from repro.simnet.transport import Transport
+from repro.utils.rng import derive_rng
+from repro.workloads.compact import REACHABILITY_NAMES, CompactPopulation
+
+#: Churn schedules are pre-drawn out to this horizon (simulated
+#: seconds); runs past it leave hosts frozen in their final state (and
+#: counted in :attr:`CompactWorld.churn_exhausted`). The default covers
+#: the paper's 12 h crawl campaigns twice over.
+DEFAULT_CHURN_HORIZON_S = 24 * 3600.0
+
+_ALL_TRANSPORTS = frozenset({Transport.TCP, Transport.QUIC, Transport.WEBSOCKET})
+_WS_ONLY = frozenset({Transport.WEBSOCKET})
+
+_REACH_CHURNING = REACHABILITY_NAMES.index("churning")
+_REACH_RELIABLE = REACHABILITY_NAMES.index("reliable")
+_REACH_NEVER = REACHABILITY_NAMES.index("never")
+
+#: stable region -> shard-key mapping (enum definition order)
+_REGION_INDEX = {region: index for index, region in enumerate(Region)}
+
+
+class _SliceView(Sequence):
+    """A zero-copy window onto a sorted positions array.
+
+    ``random.sample`` only needs ``len`` and integer ``__getitem__``,
+    and its draws depend solely on the population *length* — so handing
+    it a view over ``positions[lo:hi]`` consumes the exact RNG stream
+    the legacy fill's slice copies did, without the O(interval) copy
+    that made bucket 0 (half the keyspace) quadratic over all nodes.
+    """
+
+    __slots__ = ("_base", "_lo", "_hi")
+
+    def __init__(self, base, lo: int, hi: int) -> None:
+        self._base = base
+        self._lo = lo
+        self._hi = hi
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __getitem__(self, index: int) -> int:
+        # random.sample only indexes 0 <= j < len(self); the base
+        # list's own bounds check guards the upper edge.
+        return self._base[self._lo + index]
+
+    def __iter__(self):
+        # sample's pool path (len <= 85) and the rare leftovers scan
+        # iterate the view; one C-level slice beats the Sequence
+        # mixin's per-element __getitem__ protocol.
+        return iter(self._base[self._lo:self._hi])
+
+
+# -- chunked per-peer precompute ----------------------------------------
+#
+# Each helper is a pure function of (population, chunk bounds): the
+# build runs them over `workers` contiguous chunks and concatenates, so
+# the merged arrays are byte-identical for any worker count.
+
+
+def _chunk_bounds(n: int, workers: int) -> list[tuple[int, int]]:
+    """``workers`` contiguous [lo, hi) chunks covering ``range(n)``."""
+    step = (n + workers - 1) // workers if workers else n
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)] if n else []
+
+
+def _keys_chunk(lo: int, hi: int) -> tuple[list[bytes], list[int]]:
+    """PeerID digests and DHT key ints for peers ``lo..hi`` by formula.
+
+    ``PeerId.from_public_key(b"population-peer-%d" % i)`` is sha256 of
+    the key material; the DHT key is sha256 of the multihash encoding
+    (``\\x12\\x20`` + digest). Computing both directly skips the PeerId
+    objects entirely.
+    """
+    sha = hashlib.sha256
+    digests: list[bytes] = []
+    key_ints: list[int] = []
+    for index in range(lo, hi):
+        digest = sha(b"population-peer-%d" % index).digest()
+        digests.append(digest)
+        key_ints.append(
+            int.from_bytes(sha(b"\x12\x20" + digest).digest(), "big")
+        )
+    return digests, key_ints
+
+
+def _churn_chunk(
+    compact: CompactPopulation,
+    seed: int,
+    initial_online_probability: float,
+    horizon_s: float,
+    lo: int,
+    hi: int,
+) -> tuple[bytearray, array, array]:
+    """Initial online flags + pre-drawn transition delays for a chunk.
+
+    Replays :class:`~repro.simnet.churn.SessionProcess` exactly: the
+    initial draw, then alternating session/gap samples from the same
+    per-peer derived stream. Delays are stored *raw* (not accumulated):
+    the churn callback schedules ``delay`` so event times come out of
+    the same ``now + delay`` float accumulation the legacy callbacks
+    produce, bit for bit.
+    """
+    online = bytearray(hi - lo)
+    counts = array("I")
+    delays = array("d")
+    reach = compact.peer_reach
+    for index in range(lo, hi):
+        if reach[index] != _REACH_CHURNING:
+            online[index - lo] = 1 if reach[index] != _REACH_NEVER else 0
+            counts.append(0)
+            continue
+        model = compact.churn_model_at(index)
+        rng = derive_rng(seed, "churn", str(index))
+        if math.isinf(model.median_session_s):
+            online[index - lo] = 1
+            counts.append(0)
+            continue
+        is_online = rng.random() < initial_online_probability
+        online[index - lo] = 1 if is_online else 0
+        elapsed = 0.0
+        drawn = 0
+        state = is_online
+        # One overshoot draw past the horizon: every transition a run
+        # bounded by the horizon can execute exists, scheduled exactly
+        # when the legacy callbacks would schedule it.
+        while elapsed <= horizon_s:
+            if state:
+                delay = model.sample_session_length(rng)
+            else:
+                delay = model.sample_gap_length(rng)
+            delays.append(delay)
+            elapsed += delay
+            drawn += 1
+            state = not state
+        counts.append(drawn)
+    return online, counts, delays
+
+
+class CompactWorld:
+    """A lazily-materialized scenario over a :class:`CompactPopulation`.
+
+    Duck-compatible with :class:`~repro.experiments.scenario.Scenario`
+    for the crawl/churn experiment stack (``sim``, ``net``,
+    ``bootstrap_ids``, ``country_of``); hosts appear on demand via the
+    network's resolver hook.
+    """
+
+    def __init__(
+        self,
+        compact: CompactPopulation,
+        config,
+        sim: ShardedSimulator,
+        net: SimNetwork,
+    ) -> None:
+        self.compact = compact
+        self.config = config
+        self.seed = config.seed
+        self.nat_peers_in_dht = config.nat_peers_in_dht
+        self.sim = sim
+        self.net = net
+        self.n = len(compact)
+        self.bootstrap_ids: list[PeerId] = []
+        #: materialized state, keyed by peer index / PeerId
+        self._hosts: dict[int, SimHost] = {}
+        self.nodes: dict[PeerId, DhtNode] = {}
+        self.engines: dict[PeerId, BitswapEngine] = {}
+        self.materialized = 0
+        #: churning peers whose pre-drawn schedule ran out (only
+        #: possible when a run outlives the build's churn horizon)
+        self.churn_exhausted = 0
+        # columnar world state, filled in by build_compact_world
+        self._ws = bytearray(self.n)          # WebSocket-only transport flag
+        self._online = bytearray(self.n)      # current online state
+        self._index: dict[bytes, int] = {}    # PeerID digest -> peer index
+        self._server_order = array("i")       # table position -> peer index
+        self._table_entries = array("i")      # concatenated table positions
+        self._table_off = array("Q", [0])     # per-peer [off, off+1) slices
+        self._churn_delays = array("d")       # concatenated raw delays
+        self._churn_off = array("Q", [0])
+        self._churn_cursor = array("Q")
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- identity ------------------------------------------------------
+
+    def peer_id_at(self, index: int) -> PeerId:
+        return self.compact.peer_id_at(index)
+
+    def index_of(self, peer_id: PeerId) -> int | None:
+        return self._index.get(peer_id.multihash.digest)
+
+    def country_of(self, peer_id: PeerId) -> str:
+        index = self.index_of(peer_id)
+        return self.compact.country_at(index) if index is not None else "??"
+
+    def online_at(self, index: int) -> bool:
+        return bool(self._online[index])
+
+    def is_materialized(self, index: int) -> bool:
+        return index in self._hosts
+
+    # -- lazy materialization ------------------------------------------
+
+    def host_at(self, index: int) -> SimHost:
+        host = self._hosts.get(index)
+        return host if host is not None else self._materialize(index)
+
+    def node_at(self, index: int) -> DhtNode:
+        self.host_at(index)
+        return self.nodes[self.peer_id_at(index)]
+
+    def engine_at(self, index: int) -> BitswapEngine:
+        self.host_at(index)
+        return self.engines[self.peer_id_at(index)]
+
+    def materialize_all(self) -> None:
+        """Force the full object world (small-n differential tests)."""
+        for index in range(self.n):
+            self.host_at(index)
+
+    def table_peer_ids(self, index: int) -> list[PeerId]:
+        """Peer ``index``'s routing-table entries, in insertion order,
+        without materializing the node."""
+        entries = self._table_entries
+        order = self._server_order
+        pid_at = self.compact.peer_id_at
+        return [
+            pid_at(order[pos])
+            for pos in entries[self._table_off[index]:self._table_off[index + 1]]
+        ]
+
+    def _materialize(self, index: int) -> SimHost:
+        compact = self.compact
+        reach = compact.peer_reach[index]
+        peer_id = compact.peer_id_at(index)
+        host = SimHost(
+            peer_id,
+            region=compact.region_at(index),
+            peer_class=compact.peer_class_at(index),
+            transports=_WS_ONLY if self._ws[index] else _ALL_TRANSPORTS,
+            nat_private=reach == _REACH_NEVER,
+            online=bool(self._online[index]),
+        )
+        host.agent_version = compact.agent_at(index)  # type: ignore[attr-defined]
+        self.net.register(host)
+        node = DhtNode(
+            self.sim, self.net, host,
+            derive_rng(self.seed, "dht", str(index)),
+            server=self.nat_peers_in_dht or reach != _REACH_NEVER,
+        )
+        engine = BitswapEngine(self.sim, self.net, host, MemoryBlockstore())
+        # Replay the precomputed fill: same entries in the same
+        # insertion order the legacy populate produced, so LRU order
+        # matches too. No add can be rejected (each bucket received at
+        # most `cap` entries from the fill).
+        add = node.routing_table.add
+        order = self._server_order
+        pid_at = compact.peer_id_at
+        entries = self._table_entries
+        for pos in entries[self._table_off[index]:self._table_off[index + 1]]:
+            add(pid_at(order[pos]))
+        self._hosts[index] = host
+        self.nodes[peer_id] = node
+        self.engines[peer_id] = engine
+        self.materialized += 1
+        return host
+
+    def _resolve(self, peer_id: PeerId) -> SimHost | None:
+        index = self._index.get(peer_id.multihash.digest)
+        return None if index is None else self.host_at(index)
+
+    # -- churn ---------------------------------------------------------
+
+    def _start_churn(self) -> None:
+        """Schedule every churning peer's first transition, in peer
+        order — the same schedule-call order ``build_scenario``'s
+        SessionProcess constructions make, so sequence numbers match."""
+        sim = self.sim
+        shards = sim.n_shards
+        off = self._churn_off
+        delays = self._churn_delays
+        region_at = self.compact.region_at
+        fire = self._churn_fire
+        for index in range(self.n):
+            lo = off[index]
+            if off[index + 1] == lo:
+                continue
+            sim.schedule(
+                delays[lo], partial(fire, index),
+                shard=_REGION_INDEX[region_at(index)] % shards,
+            )
+
+    def _churn_fire(self, index: int) -> None:
+        # Transitions strictly alternate from the initial state, so the
+        # flip needs no parity bookkeeping. Follow-up events inherit
+        # the firing event's shard, keeping each peer's churn chain in
+        # its region's queue.
+        self._set_online(index, not self._online[index])
+        cursor = self._churn_cursor[index] + 1
+        self._churn_cursor[index] = cursor
+        if cursor < self._churn_off[index + 1]:
+            self.sim.schedule(
+                self._churn_delays[cursor], partial(self._churn_fire, index)
+            )
+        else:
+            self.churn_exhausted += 1
+
+    def _set_online(self, index: int, online: bool) -> None:
+        self._online[index] = 1 if online else 0
+        host = self._hosts.get(index)
+        if host is not None:
+            host.set_online(online)
+
+    # -- routing-table precompute --------------------------------------
+
+    def _fill_tables(
+        self,
+        rng: random.Random,
+        sample_cap: int | None = None,
+        stale_fraction: float = 0.05,
+    ) -> None:
+        """Replay ``populate_routing_tables`` draw-for-draw into flat
+        position arrays (see module docstring for why views, not
+        slices)."""
+        compact = self.compact
+        n = self.n
+        reach = compact.peer_reach
+        key_ints = self._key_ints
+        in_dht = self.nat_peers_in_dht
+        order = sorted(
+            (i for i in range(n) if in_dht or reach[i] != _REACH_NEVER),
+            key=key_ints.__getitem__,
+        )
+        keys = [key_ints[i] for i in order]
+        online = self._online
+        live: list[int] = []
+        stale: list[int] = []
+        for pos, index in enumerate(order):
+            (live if online[index] else stale).append(pos)
+
+        entries = self._table_entries
+        off = self._table_off
+        append = entries.append
+        bl = bisect.bisect_left
+        sample = rng.sample
+        cap = sample_cap if sample_cap is not None else K_BUCKET_SIZE
+        n_servers = len(keys)
+        for i in range(n):
+            own_int = key_ints[i]
+            cur_lo, cur_hi = 0, n_servers
+            for bucket in range(KEY_BITS):
+                if cur_hi - cur_lo <= cap:
+                    for pos in range(cur_lo, cur_hi):
+                        if keys[pos] != own_int:
+                            append(pos)
+                    break
+                shift = KEY_BITS - bucket - 1
+                prefix = own_int >> shift
+                if prefix & 1:
+                    mid = bl(keys, prefix << shift, cur_lo, cur_hi)
+                    start, end = cur_lo, mid
+                    cur_lo = mid
+                else:
+                    mid = bl(keys, (prefix ^ 1) << shift, cur_lo, cur_hi)
+                    start, end = mid, cur_hi
+                    cur_hi = mid
+                if start >= end:
+                    continue
+                if end - start <= cap:
+                    for pos in range(start, end):
+                        if keys[pos] != own_int:
+                            append(pos)
+                    continue
+                live_view = _SliceView(live, bl(live, start), bl(live, end))
+                stale_view = _SliceView(stale, bl(stale, start), bl(stale, end))
+                n_stale = min(len(stale_view), int(cap * stale_fraction))
+                chosen = sample(live_view, min(len(live_view), cap - n_stale))
+                chosen += sample(stale_view, n_stale)
+                if len(chosen) < cap:
+                    taken = set(chosen)
+                    leftovers = [p for p in stale_view if p not in taken]
+                    chosen += sample(
+                        leftovers, min(len(leftovers), cap - len(chosen))
+                    )
+                for pos in chosen:
+                    if keys[pos] != own_int:
+                        append(pos)
+            off.append(len(entries))
+        self._server_order = array("i", order)
+
+    # -- accounting ----------------------------------------------------
+
+    def memory_breakdown(self) -> dict[str, int]:
+        """Approximate resident bytes per component (bench telemetry)."""
+        digest_bytes = sys.getsizeof(b"\x00" * 32) + 28  # key + int value
+        return {
+            "population": self.compact.nbytes(),
+            "tables": self._table_entries.itemsize * len(self._table_entries)
+            + self._table_off.itemsize * len(self._table_off)
+            + self._server_order.itemsize * len(self._server_order),
+            "churn": self._churn_delays.itemsize * len(self._churn_delays)
+            + self._churn_off.itemsize * len(self._churn_off)
+            + self._churn_cursor.itemsize * len(self._churn_cursor),
+            "flags": len(self._ws) + len(self._online),
+            "peer_index": sys.getsizeof(self._index)
+            + digest_bytes * len(self._index),
+        }
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by the compact world state."""
+        return sum(self.memory_breakdown().values())
+
+
+def build_compact_world(
+    compact: CompactPopulation,
+    config=None,
+    *,
+    workers: int = 1,
+    churn_horizon_s: float = DEFAULT_CHURN_HORIZON_S,
+    lookahead: float | None = None,
+) -> CompactWorld:
+    """Build the scenario ``build_scenario`` would build, compactly.
+
+    ``workers`` shards both the per-peer precompute (chunked through
+    pure functions) and the kernel's event queue; results are
+    byte-identical for any value. ``config`` is a
+    :class:`~repro.experiments.scenario.ScenarioConfig` (NAT worlds are
+    not supported compactly yet — build those with ``build_scenario``).
+    """
+    if config is None:
+        # Imported here: simnet sits below the experiments layer, and
+        # only this convenience default reaches upward.
+        from repro.experiments.scenario import ScenarioConfig
+
+        config = ScenarioConfig()
+    if getattr(config, "nat_world", None) is not None:
+        raise SimulationError("compact worlds do not support NAT worlds yet")
+    if workers < 1:
+        raise SimulationError(f"need at least one worker, got {workers}")
+
+    n = len(compact)
+    sim = ShardedSimulator(shards=workers, lookahead=lookahead)
+    net = SimNetwork(sim, derive_rng(config.seed, "net"))
+    world = CompactWorld(compact, config, sim, net)
+
+    # The per-peer transport draw: one uniform per peer from the shared
+    # "scenario" stream, in peer order — exactly build_scenario's loop.
+    scenario_rng = derive_rng(config.seed, "scenario")
+    draw = scenario_rng.random
+    ws = world._ws
+    for index in range(n):
+        if draw() < 0.05:
+            ws[index] = 1
+
+    bounds = _chunk_bounds(n, workers)
+
+    # Identity: PeerID digests + DHT key ints, chunked.
+    digests: list[bytes] = []
+    key_ints: list[int] = []
+    for lo, hi in bounds:
+        chunk_digests, chunk_keys = _keys_chunk(lo, hi)
+        digests.extend(chunk_digests)
+        key_ints.extend(chunk_keys)
+    world._index = {digest: index for index, digest in enumerate(digests)}
+    world._key_ints = key_ints
+
+    # Churn: initial draws + pre-drawn schedules, chunked. The initial
+    # draw happens at SessionProcess construction in build_scenario,
+    # i.e. *before* table fill — reachability at fill time reflects it.
+    if config.with_churn:
+        for (lo, hi) in bounds:
+            online, counts, delays = _churn_chunk(
+                compact, config.seed, config.initial_online_probability,
+                churn_horizon_s, lo, hi,
+            )
+            world._online[lo:hi] = online
+            for count in counts:
+                world._churn_off.append(world._churn_off[-1] + count)
+            world._churn_delays.extend(delays)
+    else:
+        reach = compact.peer_reach
+        for index in range(n):
+            world._online[index] = 1 if reach[index] != _REACH_NEVER else 0
+        world._churn_off.extend([0] * n)
+    world._churn_cursor = array("Q", world._churn_off[:n])
+    if config.with_churn:
+        world._start_churn()
+
+    # Canonical bootstrap peers: the first reliable peers, as in
+    # build_scenario (fall back to the head of the population).
+    from repro.experiments.scenario import N_BOOTSTRAP
+
+    bootstrap: list[PeerId] = []
+    reach = compact.peer_reach
+    for index in range(n):
+        if reach[index] == _REACH_RELIABLE:
+            bootstrap.append(compact.peer_id_at(index))
+            if len(bootstrap) == N_BOOTSTRAP:
+                break
+    if not bootstrap:
+        bootstrap = [compact.peer_id_at(i) for i in range(min(n, N_BOOTSTRAP))]
+    world.bootstrap_ids = bootstrap
+
+    world._fill_tables(derive_rng(config.seed, "tables"))
+    del world._key_ints  # only needed during the fill
+    net.host_resolver = world._resolve
+    return world

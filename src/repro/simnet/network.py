@@ -217,6 +217,12 @@ class SimNetwork:
         #: see :class:`repro.simnet.relay.NatTraversal`); ``None`` means
         #: every dial is a plain direct dial (the default).
         self.traversal: Any | None = None
+        #: optional lazy-materialization hook (compact worlds, see
+        #: :mod:`repro.simnet.compact`): called with a PeerId on a
+        #: ``hosts`` miss, it may build + register the host on demand
+        #: and return it (or ``None`` for a genuinely unknown peer).
+        #: ``None`` (the default) keeps lookups exactly as before.
+        self.host_resolver: Callable[[PeerId], SimHost | None] | None = None
 
     def install_faults(self, injector: FaultInjector | None) -> None:
         """Attach (or remove, with ``None``) a fault injector."""
@@ -255,7 +261,10 @@ class SimNetwork:
         self.hosts[host.peer_id] = host
 
     def host(self, peer_id: PeerId) -> SimHost | None:
-        return self.hosts.get(peer_id)
+        host = self.hosts.get(peer_id)
+        if host is None and self.host_resolver is not None:
+            host = self.host_resolver(peer_id)
+        return host
 
     # -- dialing -------------------------------------------------------------
 
@@ -317,6 +326,8 @@ class SimNetwork:
             return Future.failed_with(DialError("dialer is offline"))
         future: Future = Future()
         target = self.hosts.get(target_id)
+        if target is None and self.host_resolver is not None:
+            target = self.host_resolver(target_id)
 
         listener_transports = (
             target.transports if target is not None else _DEFAULT_TRANSPORTS
@@ -536,6 +547,8 @@ class SimNetwork:
         future: Future,
     ) -> None:
         target = self.hosts.get(target_id)
+        if target is None and self.host_resolver is not None:
+            target = self.host_resolver(target_id)
         if target is None:
             future.fail(DialError(f"unknown peer {target_id}"))
             return

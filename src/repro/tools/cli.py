@@ -64,6 +64,11 @@ from repro.experiments.replay import (
     grade_replay,
     run_replay_grid,
 )
+from repro.experiments.scale import (
+    ScaleCrawlConfig,
+    bench_scale_config,
+    run_scale_crawl,
+)
 from repro.gateway.replay import ReplayConfig
 from repro.experiments.report import render_cdf, render_share_table, render_table
 from repro.experiments.scenario import AWS_REGIONS, ScenarioConfig, build_scenario
@@ -300,6 +305,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use the frozen BENCH_overload.json "
                             "configuration (overrides the shape flags)")
 
+    scale = sub.add_parser(
+        "scale-crawl",
+        help="paper-scale Fig 4a/8 crawl+churn campaign over a compact "
+             "world (200 k peers by default), graded vs the paper",
+    )
+    scale.add_argument("--peers", type=int, default=None,
+                       help="world size (default 200000)")
+    scale.add_argument("--hours", type=float, default=None,
+                       help="campaign hours (default 12; Fig 8 needs the "
+                            "full window)")
+    scale.add_argument("--workers", type=int, default=None,
+                       help="event-queue shards (region partition); "
+                            "output is identical for any value")
+    scale.add_argument("--probe-sample", type=float, default=None,
+                       help="keyspace fraction of seen peers the uptime "
+                            "prober follows (default 0.05)")
+    scale.add_argument("--export", metavar="FILE", default=None,
+                       help="write the graded scale JSON artifact "
+                            "(BENCH_scale.json style)")
+    scale.add_argument("--bench", action="store_true",
+                       help="use the frozen BENCH_scale.json configuration "
+                            "(overrides --peers/--hours/--probe-sample)")
+
     replay = sub.add_parser(
         "replay",
         help="batched full-day gateway replay graded against "
@@ -319,6 +347,10 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--cache-fraction", type=float, default=None,
                         help="nginx cache budget as a corpus fraction "
                              "(default: calibrated per scale)")
+    replay.add_argument("--full-catalog", action="store_true",
+                        help="spread demand over the whole CID catalog "
+                             "(grades requests-per-CID and coverage; "
+                             "always on at --scale 1)")
     replay.add_argument("--workers", type=int, default=1,
                         help="worker processes sharding the time-window "
                              "cells; output is identical for any value")
@@ -697,6 +729,34 @@ def _cmd_flash_crowd(args) -> int:
     return 1 if report.overall.value == "FAIL" else 0
 
 
+def _cmd_scale_crawl(args) -> int:
+    """Graded paper-scale crawl campaign; exit 1 when any claim FAILs."""
+    if args.bench:
+        config = bench_scale_config()
+        if args.seed != 42:
+            config = dataclasses.replace(config, seed=args.seed)
+        if args.workers is not None:
+            config = dataclasses.replace(config, workers=args.workers)
+    else:
+        overrides = {"seed": args.seed}
+        if args.peers is not None:
+            overrides["n_peers"] = args.peers
+        if args.hours is not None:
+            overrides["duration_s"] = args.hours * 3600.0
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.probe_sample is not None:
+            overrides["probe_sample"] = args.probe_sample
+        config = ScaleCrawlConfig(**overrides)
+    report = run_scale_crawl(config)
+    print(report.render_text())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"\nwrote graded scale report to {args.export}")
+    return 1 if report.overall.value == "FAIL" else 0
+
+
 def _cmd_replay(args) -> int:
     """Graded batched day replay; exit 1 when any grade FAILs."""
     if args.bench:
@@ -713,7 +773,10 @@ def _cmd_replay(args) -> int:
             config = full_day_config(seed=args.seed)
         else:
             config = ReplayConfig(
-                seed=args.seed, trace=GatewayTraceConfig(scale=args.scale)
+                seed=args.seed,
+                trace=GatewayTraceConfig(
+                    scale=args.scale, full_catalog=args.full_catalog
+                ),
             )
         overrides = {"miss_backend": args.backend}
         if args.window is not None:
@@ -746,6 +809,7 @@ def main(argv: list[str] | None = None) -> int:
         "nat-sweep": _cmd_nat_sweep,
         "flash-crowd": _cmd_flash_crowd,
         "replay": _cmd_replay,
+        "scale-crawl": _cmd_scale_crawl,
     }
     return handlers[args.command](args) or 0
 

@@ -72,6 +72,15 @@ class GatewayTraceConfig:
     #: requests are served from the node store in Table 5).
     pinned_request_share: float = 0.402
     seconds_per_day: int = 86_400
+    #: Spread demand over the *whole* CID catalog: every ``stride``-th
+    #: request (stride = requests // cids) is redirected to the next
+    #: catalog slot, guaranteeing each of the day's CIDs at least one
+    #: hit. Pure Zipf sampling leaves ~35 % of the universe untouched
+    #: (179 k of 274 k CIDs at scale=1), but the paper's day counts
+    #: 274 k *requested* CIDs — the catalog IS the requested set. The
+    #: override happens after the draws, so the RNG stream (and hence
+    #: every other request field) is identical with the flag on or off.
+    full_catalog: bool = False
 
     @property
     def n_requests(self) -> int:
@@ -147,6 +156,18 @@ def _zipf_weights(n: int, exponent: float) -> list[float]:
     return [w / total for w in weights]
 
 
+def _catalog_sweep_stride(config: GatewayTraceConfig) -> int:
+    """Stride of the full-catalog sweep, or 0 when the mode is off.
+
+    Positions 0, stride, 2*stride, ... (in generation order, i.e.
+    uniformly over the day once sorted) are redirected to catalog slots
+    0, 1, 2, ... — one guaranteed request per CID.
+    """
+    if not config.full_catalog or config.n_requests < config.n_cids:
+        return 0
+    return config.n_requests // config.n_cids
+
+
 def generate_gateway_trace(
     config: GatewayTraceConfig, rng: random.Random
 ) -> GatewayTrace:
@@ -174,7 +195,8 @@ def generate_gateway_trace(
     requests: list[GatewayRequest] = []
     user_indices = list(range(config.n_users))
     chosen_users = rng.choices(user_indices, user_weights, k=config.n_requests)
-    for user_index in chosen_users:
+    sweep_stride = _catalog_sweep_stride(config)
+    for index, user_index in enumerate(chosen_users):
         country = user_countries[user_index]
         offset = _COUNTRY_UTC_OFFSET.get(country, rng.choice([-8, -5, 0, 1, 8]))
         timestamp = _sample_diurnal_time(rng, offset, config.seconds_per_day)
@@ -182,6 +204,10 @@ def generate_gateway_trace(
             cid_index = rng.choices(range(n_pinned), pinned_weights)[0]
         else:
             cid_index = rng.choices(open_indices, open_weights)[0]
+        if sweep_stride and index % sweep_stride == 0:
+            sweep_slot = index // sweep_stride
+            if sweep_slot < config.n_cids:
+                cid_index = sweep_slot
         referrer = None
         if rng.random() < REFERRED_FRACTION:
             if rng.random() < SEMI_POPULAR_FRACTION:
@@ -359,6 +385,7 @@ def generate_columnar_trace(
     rng_choices = rng.choices
     referred = REFERRED_FRACTION
     semi_popular = SEMI_POPULAR_FRACTION
+    sweep_stride = _catalog_sweep_stride(config)
     for index in range(n):
         country = user_countries[user_ids[index]]
         # The legacy path evaluates dict.get's default argument eagerly,
@@ -371,6 +398,10 @@ def generate_columnar_trace(
             cid_ids[index] = rng_choices(pinned_range, cum_weights=pinned_cum)[0]
         else:
             cid_ids[index] = rng_choices(open_range, cum_weights=open_cum)[0]
+        if sweep_stride and index % sweep_stride == 0:
+            sweep_slot = index // sweep_stride
+            if sweep_slot < config.n_cids:
+                cid_ids[index] = sweep_slot
         if rng_random() < referred:
             if rng_random() < semi_popular:
                 referrer_codes[index] = rng_choice(site_codes)

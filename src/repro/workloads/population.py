@@ -446,20 +446,6 @@ def _sample_cloud(rng: random.Random) -> str | None:
     return None
 
 
-def _sample_extra_ip_count(rng: random.Random) -> int:
-    """Extra addresses per non-mega peer; mean tuned so the global
-    IP-per-peer average lands near :data:`MEAN_IPS_PER_PEER`."""
-    roll = rng.random()
-    if roll < 0.25:
-        return 0
-    if roll < 0.55:
-        return 1
-    if roll < 0.85:
-        return 2
-    return 3
-
-
-
 def _sample_reachability(
     rng: random.Random, config: PopulationConfig, cloud: str | None
 ) -> str:

@@ -91,14 +91,44 @@ class TestGrading:
         assert grade_of("nginx_request_share", "model") is not None
         assert grade_of("nginx_request_share", "fleet") is None
         assert grade_of("answered_fraction", "fleet") is not None
-        # requests_per_cid is informational everywhere (the generator
-        # leaves cold-tail CIDs untouched at full scale).
-        assert grade_of("requests_per_cid", "model") is None
+        # The bench model arm runs the full-catalog trace, so its
+        # CID-demand rows are graded; the fleet arm's trace is plain
+        # Zipf and stays informational.
+        assert grade_of("requests_per_cid", "model") is not None
+        assert grade_of("catalog_coverage", "model") is not None
+        assert grade_of("requests_per_cid", "fleet") is None
+
+    def test_full_catalog_graduates_requests_per_cid(self):
+        """The pinned graded row: with the full-catalog trace the
+        generator covers the whole universe, requests-per-CID lands on
+        the paper's 25.9, and both rows grade PASS; the same config
+        without the flag keeps them informational."""
+        base = ReplayConfig(trace=GatewayTraceConfig(scale=2000))
+        full = dataclasses.replace(
+            base, trace=GatewayTraceConfig(scale=2000, full_catalog=True)
+        )
+        report = grade_replay(run_replay_grid([full]))
+        rows = {row.metric: row for row in report.rows}
+        coverage = rows["catalog_coverage"]
+        per_cid = rows["requests_per_cid"]
+        assert coverage.measured == 1.0
+        assert coverage.grade is Grade.PASS
+        assert per_cid.grade is Grade.PASS
+        assert abs(per_cid.measured - 7_100_000 / 274_000) < 0.5
+
+        ungraded = grade_replay(run_replay_grid([base]))
+        ungraded_rows = {row.metric: row for row in ungraded.rows}
+        assert ungraded_rows["requests_per_cid"].grade is None
+        assert "catalog_coverage" not in ungraded_rows
+        assert ungraded_rows["unique_cids_requested"].measured < (
+            base.trace.n_cids
+        )
 
     def test_full_day_config_shape(self):
         config = full_day_config(seed=7)
         assert config.seed == 7
         assert config.trace.scale == 1
+        assert config.trace.full_catalog
         assert config.miss_backend == "model"
 
     def test_info_rows_do_not_gate(self):

@@ -1,0 +1,174 @@
+"""The differential harness: compact worlds == legacy worlds.
+
+``build_compact_world`` promises to build *the same world*
+``build_scenario`` builds — same routing tables, same address books,
+same churn schedules, same protocol behavior — while holding peers as
+array rows until protocol code touches them, for any worker count.
+This suite is the proof:
+
+- structural equality, unmaterialized: bootstrap set, online flags,
+  and per-peer routing-table membership straight from the flat arrays;
+- structural equality, materialized: force every peer into existence
+  and compare the real ``RoutingTable``/``SimHost`` object graphs
+  attribute by attribute (bucket layouts included);
+- behavioral equality: run churn on both kernels and compare the full
+  ``(time, peer, online)`` transition logs;
+- protocol byte-identity: drive the actual crawler + prober campaign
+  over legacy and compact worlds and compare exported trace digests
+  against a pinned golden hash — one constant guards both the compact
+  path and the sharded merge for every worker count.
+
+Regenerate GOLDEN_CRAWL_TRACE_SHA256 with:
+
+    PYTHONPATH=src python -m tests.simnet.test_compact_equivalence
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.experiments.deployment import CrawlCampaignConfig, run_crawl_timeseries
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.obs import Observability
+from repro.simnet.compact import build_compact_world
+from repro.tools.export import export_trace
+from repro.utils.rng import derive_rng
+from repro.workloads.compact import generate_compact_population
+from repro.workloads.population import PopulationConfig, generate_population
+
+N_PEERS = 300
+SEED = 42
+WORKER_COUNTS = (1, 2, 4)
+
+#: sha256 of the exported event trace of a 1 h crawl+probe campaign
+#: over the 300-peer seed-42 world. The legacy scenario and the compact
+#: world must both produce exactly this file, for every worker count.
+GOLDEN_CRAWL_TRACE_SHA256 = (
+    "934037dc54cd32f2de0d9d3dddeae0ebb821c364f20ffb1d7f2bfb4da1c25a4e"
+)
+
+
+def _populations(n_peers: int = N_PEERS, seed: int = SEED):
+    config = PopulationConfig(n_peers=n_peers)
+    legacy = generate_population(config, derive_rng(seed, "population"))
+    compact = generate_compact_population(config, derive_rng(seed, "population"))
+    return legacy, compact
+
+
+@pytest.fixture(scope="module")
+def populations():
+    return _populations()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize(
+    "config",
+    [
+        ScenarioConfig(seed=SEED),
+        ScenarioConfig(seed=SEED, with_churn=False),
+        ScenarioConfig(seed=SEED, nat_peers_in_dht=False),
+    ],
+    ids=["default", "no-churn", "no-nat-servers"],
+)
+def test_structural_equality(populations, config, workers):
+    legacy_pop, compact_pop = populations
+    scenario = build_scenario(legacy_pop, config)
+    world = build_compact_world(compact_pop, config, workers=workers)
+
+    assert world.bootstrap_ids == scenario.bootstrap_ids
+    assert world.materialized == 0, "building must not materialize anyone"
+
+    # Unmaterialized: flags and table membership read from the arrays.
+    for node in scenario.backdrop:
+        i = world.index_of(node.host.peer_id)
+        assert world.online_at(i) == node.host.online
+        assert sorted(world.table_peer_ids(i)) == sorted(
+            node.routing_table.peers()
+        )
+
+    # Materialized: identical object graphs, bucket layouts included.
+    world.materialize_all()
+    for node in scenario.backdrop:
+        i = world.index_of(node.host.peer_id)
+        mat = world.node_at(i)
+        assert mat.routing_table.peers() == node.routing_table.peers()
+        assert (
+            mat.routing_table.bucket_sizes()
+            == node.routing_table.bucket_sizes()
+        )
+        host, legacy_host = mat.host, node.host
+        assert host.peer_id == legacy_host.peer_id
+        assert host.online == legacy_host.online
+        assert host.transports == legacy_host.transports
+        assert host.nat_private == legacy_host.nat_private
+        assert host.agent_version == legacy_host.agent_version
+        assert mat.server == node.server
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_churn_transition_logs_identical(populations, workers):
+    """Run six simulated hours of churn on both kernels and compare
+    every (time, peer, online) transition."""
+    legacy_pop, compact_pop = populations
+    config = ScenarioConfig(seed=SEED)
+    scenario = build_scenario(legacy_pop, config)
+    world = build_compact_world(compact_pop, config, workers=workers)
+    world.materialize_all()
+
+    logs = []
+    for hosts, sim in (
+        ([node.host for node in scenario.backdrop], scenario.sim),
+        ([world.host_at(i) for i in range(N_PEERS)], world.sim),
+    ):
+        log: list[tuple[float, int, bool]] = []
+        for index, host in enumerate(hosts):
+            host.on_status_change.append(
+                lambda online, index=index, log=log, sim=sim: log.append(
+                    (sim.now, index, online)
+                )
+            )
+        sim.run(until=6 * 3600.0)
+        logs.append(log)
+    assert logs[0], "six hours of churn must produce transitions"
+    assert logs[0] == logs[1]
+
+
+def _campaign_digest(world) -> tuple[str, object]:
+    obs = Observability()
+    world.net.install_observability(obs)
+    results = run_crawl_timeseries(
+        world, CrawlCampaignConfig(duration_s=3600.0)
+    )
+    path = "/tmp/compact-equivalence-trace.jsonl"
+    export_trace(obs.tracer, path)
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest(), results
+
+
+def test_protocol_run_byte_identical(populations):
+    """The pinned golden trace: legacy and compact (all worker counts)
+    run the crawler campaign to the byte-identical event trace."""
+    legacy_pop, compact_pop = populations
+    digests = {}
+    scenario = build_scenario(legacy_pop, ScenarioConfig(seed=SEED))
+    digests["legacy"], legacy_results = _campaign_digest(scenario)
+    for workers in WORKER_COUNTS:
+        world = build_compact_world(
+            compact_pop, ScenarioConfig(seed=SEED), workers=workers
+        )
+        digests[f"compact-w{workers}"], results = _campaign_digest(world)
+        assert results.timeseries() == legacy_results.timeseries()
+        assert results.sessions == legacy_results.sessions
+        assert results.uptime_by_peer == legacy_results.uptime_by_peer
+    assert digests == {
+        name: GOLDEN_CRAWL_TRACE_SHA256 for name in digests
+    }, f"trace digests diverged: {digests}"
+
+
+if __name__ == "__main__":
+    legacy_pop, _ = _populations()
+    scenario = build_scenario(legacy_pop, ScenarioConfig(seed=SEED))
+    digest, _ = _campaign_digest(scenario)
+    print(f"GOLDEN_CRAWL_TRACE_SHA256 = \"{digest}\"")

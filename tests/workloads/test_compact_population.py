@@ -1,0 +1,65 @@
+"""Differential tests: compact population == legacy population.
+
+:func:`repro.workloads.compact.generate_compact_population` replays the
+exact RNG draw sequence of :func:`~repro.workloads.population.
+generate_population` into flat arrays. Same seed, same config — every
+observable attribute of every peer must be identical, and the
+round-trip through :meth:`CompactPopulation.to_population` must
+reproduce the legacy object graph attribute by attribute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.workloads.compact import generate_compact_population
+from repro.workloads.population import PopulationConfig, generate_population
+
+
+def _both(n_peers: int, seed: int):
+    config = PopulationConfig(n_peers=n_peers)
+    legacy = generate_population(config, derive_rng(seed, "population"))
+    compact = generate_compact_population(config, derive_rng(seed, "population"))
+    return legacy, compact
+
+
+@pytest.mark.parametrize("seed", [42, 7, 20260808])
+def test_per_peer_attributes_match(seed):
+    legacy, compact = _both(400, seed)
+    assert len(compact) == len(legacy.peers)
+    for spec in legacy.peers:
+        i = spec.index
+        assert compact.peer_id_at(i) == spec.peer_id
+        assert compact.country_at(i) == spec.country
+        assert compact.region_at(i) == spec.region
+        assert compact.reachability_at(i) == spec.reachability
+        assert compact.peer_class_at(i) == spec.peer_class
+        assert compact.agent_at(i) == spec.agent_version
+        assert compact.churn_model_at(i) == spec.churn_model
+        assert compact.ips_at(i) == spec.ips
+        assert compact.cloud_at(i) == spec.cloud_provider
+
+
+@pytest.mark.parametrize("seed", [42, 7])
+def test_spec_at_round_trip(seed):
+    legacy, compact = _both(300, seed)
+    for spec in legacy.peers:
+        assert compact.spec_at(spec.index) == spec
+
+
+def test_to_population_matches_legacy():
+    legacy, compact = _both(500, 42)
+    rebuilt = compact.to_population()
+    assert rebuilt.peers == legacy.peers
+    assert rebuilt.geo == legacy.geo
+    assert rebuilt.clouds == legacy.clouds
+    assert sorted(rebuilt.peer_ips()) == sorted(legacy.peer_ips())
+    assert sorted(rebuilt.all_ips()) == sorted(legacy.all_ips())
+
+
+def test_compact_is_actually_compact():
+    _, compact = _both(2000, 42)
+    # The whole point: tens of bytes per peer in arrays (peer ids and
+    # specs materialize lazily), versus ~kilobytes of objects.
+    assert compact.nbytes() / len(compact) < 200
